@@ -1,0 +1,156 @@
+//! A lightweight NCC template tracker — the substrate Marlin alternates with
+//! its DNN.
+//!
+//! Marlin's key idea is that between DNN invocations a cheap CPU tracker can
+//! follow the object. We model the tracker as template matching: the crop
+//! under the last confirmed detection is correlated against candidate
+//! positions around the previous location in the new frame. Tracking quality
+//! degrades as the scene changes, which is exactly the failure mode that
+//! forces Marlin to re-run its DNN.
+
+use shift_video::{ncc, BoundingBox, Frame, GrayImage};
+
+/// Latency charged per tracked frame, seconds. Correlation tracking on the
+/// Carmel CPU cores is on the order of a few milliseconds.
+pub const TRACKER_LATENCY_S: f64 = 0.004;
+
+/// Average CPU power drawn while tracking, watts.
+pub const TRACKER_POWER_W: f64 = 3.5;
+
+/// The result of tracking one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackResult {
+    /// The tracked bounding box in the new frame.
+    pub bbox: BoundingBox,
+    /// Correlation score of the best match, in `[-1, 1]`; low scores indicate
+    /// the template no longer matches the scene.
+    pub score: f64,
+}
+
+/// NCC template tracker.
+#[derive(Debug, Clone, Default)]
+pub struct NccTracker {
+    template: Option<GrayImage>,
+    last_bbox: Option<BoundingBox>,
+}
+
+impl NccTracker {
+    /// Creates a tracker with no template.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the tracker currently holds a template.
+    pub fn is_initialized(&self) -> bool {
+        self.template.is_some()
+    }
+
+    /// (Re)initializes the tracker from a confirmed detection.
+    pub fn initialize(&mut self, frame: &Frame, bbox: &BoundingBox) {
+        self.template = frame.image.crop(bbox);
+        self.last_bbox = Some(*bbox);
+    }
+
+    /// Clears the template (used when the detector reports no object).
+    pub fn reset(&mut self) {
+        self.template = None;
+        self.last_bbox = None;
+    }
+
+    /// Tracks the object into `frame` by searching a small grid of offsets
+    /// around the previous location and returning the best-correlating
+    /// placement. Returns `None` when the tracker has no template.
+    pub fn track(&mut self, frame: &Frame) -> Option<TrackResult> {
+        let template = self.template.as_ref()?;
+        let last = self.last_bbox?;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut best_bbox = last;
+        // Search offsets of up to ~20% of the box size in each direction.
+        let step_x = (last.w * 0.2).max(1.0);
+        let step_y = (last.h * 0.2).max(1.0);
+        for dy in -2..=2 {
+            for dx in -2..=2 {
+                let candidate = last.translated(dx as f64 * step_x, dy as f64 * step_y);
+                let Some(crop) = frame.image.crop(&candidate) else {
+                    continue;
+                };
+                let resized = crop.resized(template.width(), template.height());
+                let score = ncc(template, &resized).unwrap_or(-1.0);
+                if score > best_score {
+                    best_score = score;
+                    best_bbox = candidate;
+                }
+            }
+        }
+        if !best_score.is_finite() {
+            return None;
+        }
+        self.last_bbox = Some(best_bbox);
+        Some(TrackResult {
+            bbox: best_bbox,
+            score: best_score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_video::Scenario;
+
+    #[test]
+    fn uninitialized_tracker_returns_none() {
+        let frame = Scenario::scenario_3().stream().next().unwrap();
+        let mut tracker = NccTracker::new();
+        assert!(!tracker.is_initialized());
+        assert!(tracker.track(&frame).is_none());
+    }
+
+    #[test]
+    fn tracker_follows_a_slow_target() {
+        let scenario = Scenario::scenario_3().with_num_frames(20);
+        let frames: Vec<_> = scenario.stream().collect();
+        let mut tracker = NccTracker::new();
+        tracker.initialize(&frames[0], &frames[0].truth.unwrap());
+        let mut min_iou: f64 = 1.0;
+        for frame in &frames[1..10] {
+            let result = tracker.track(frame).expect("initialized");
+            let truth = frame.truth.unwrap();
+            min_iou = min_iou.min(result.bbox.iou(&truth));
+        }
+        assert!(
+            min_iou > 0.4,
+            "tracker should roughly follow a hovering target, min IoU {min_iou}"
+        );
+    }
+
+    #[test]
+    fn tracking_score_drops_when_scene_changes() {
+        // Track from a frame of scenario 3 (plain background) into a frame of
+        // scenario 5 (busy background, different target position); the
+        // correlation should be visibly worse than same-scene tracking.
+        let easy: Vec<_> = Scenario::scenario_3().with_num_frames(5).stream().collect();
+        let hard: Vec<_> = Scenario::scenario_5().with_num_frames(5).stream().collect();
+        let mut tracker = NccTracker::new();
+        tracker.initialize(&easy[0], &easy[0].truth.unwrap());
+        let same = tracker.track(&easy[1]).unwrap().score;
+        let mut tracker = NccTracker::new();
+        tracker.initialize(&easy[0], &easy[0].truth.unwrap());
+        let different = tracker.track(&hard[1]).unwrap().score;
+        assert!(
+            same > different,
+            "same-scene score {same} should exceed cross-scene score {different}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let frames: Vec<_> = Scenario::scenario_3().with_num_frames(2).stream().collect();
+        let mut tracker = NccTracker::new();
+        tracker.initialize(&frames[0], &frames[0].truth.unwrap());
+        assert!(tracker.is_initialized());
+        tracker.reset();
+        assert!(!tracker.is_initialized());
+        assert!(tracker.track(&frames[1]).is_none());
+    }
+}

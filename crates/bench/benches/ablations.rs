@@ -1,0 +1,135 @@
+//! Ablations of SHIFT's design choices (DESIGN.md §5).
+//!
+//! Three ablations, each comparing the full design against a degraded
+//! variant on the same scenario:
+//!
+//! 1. **Confidence graph vs. naive passthrough** — predict every model's
+//!    accuracy from the graph, or simply reuse the reporting model's own
+//!    confidence for everyone (what a system without the CG would do).
+//! 2. **Similarity gate on vs. off** — disable the `similarity x confidence`
+//!    shortcut so the scheduler runs a full pass every frame.
+//! 3. **LRU dynamic loader vs. evict-all loader** — measure the cumulative
+//!    load cost of keeping memory full vs. clearing it on every swap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_bench::{bench_characterization, bench_engine};
+use shift_core::{
+    CandidatePair, ConfidenceGraph, DynamicModelLoader, GraphConfig, ShiftConfig, ShiftRuntime,
+};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use shift_video::Scenario;
+use std::hint::black_box;
+
+fn graph_vs_passthrough(c: &mut Criterion) {
+    let characterization = bench_characterization(400, 3);
+    let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
+    let mut group = c.benchmark_group("ablations/accuracy_prediction");
+    group.bench_function("confidence_graph_lookup", |b| {
+        b.iter(|| black_box(graph.predict(ModelId::YoloV7, black_box(0.7))));
+    });
+    group.bench_function("naive_passthrough", |b| {
+        // The no-CG variant: every model is assumed to achieve the reporting
+        // model's confidence. (Practically free — the point of the ablation
+        // is the accuracy loss, quantified in the experiments crate tests;
+        // here we record the latency difference.)
+        b.iter(|| {
+            let confidence: f64 = black_box(0.7);
+            black_box(
+                ModelId::ALL
+                    .iter()
+                    .map(|&m| (m, confidence))
+                    .collect::<Vec<_>>(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn similarity_gate_on_vs_off(c: &mut Criterion) {
+    let characterization = bench_characterization(400, 3);
+    let frames: Vec<_> = Scenario::scenario_3().with_num_frames(128).stream().collect();
+    let mut group = c.benchmark_group("ablations/similarity_gate");
+    group.sample_size(10);
+    for (label, goal) in [("gate_on", 0.25f64), ("gate_off", 1.0f64)] {
+        // An accuracy goal of 1.0 means `similarity x confidence` can never
+        // satisfy the gate, so the scheduler re-evaluates every frame.
+        let config = ShiftConfig::paper_defaults().with_accuracy_goal(goal);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut runtime =
+                    ShiftRuntime::new(bench_engine(3), &characterization, config.clone())
+                        .expect("runtime builds");
+                for frame in &frames {
+                    black_box(runtime.process_frame(frame).expect("frame processes"));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn lru_vs_evict_all_loader(c: &mut Criterion) {
+    // Alternate between three models on the DLA; the LRU loader keeps them
+    // resident while the evict-all strategy pays the full load cost on every
+    // swap.
+    let swap_sequence = [
+        ModelId::YoloV7,
+        ModelId::YoloV7Tiny,
+        ModelId::SsdMobilenetV2,
+        ModelId::YoloV7,
+        ModelId::YoloV7Tiny,
+        ModelId::SsdMobilenetV2,
+    ];
+    let mut group = c.benchmark_group("ablations/model_loader");
+    group.bench_function("lru_loader", |b| {
+        b.iter(|| {
+            let mut engine = bench_engine(9);
+            let mut loader = DynamicModelLoader::new();
+            let mut total_time = 0.0;
+            for &model in &swap_sequence {
+                let outcome = loader
+                    .ensure_loaded(&mut engine, CandidatePair::new(model, AcceleratorId::Dla0))
+                    .expect("loads");
+                total_time += outcome.load_time_s;
+            }
+            black_box(total_time)
+        });
+    });
+    group.bench_function("evict_all_loader", |b| {
+        b.iter(|| {
+            let mut engine = bench_engine(9);
+            let mut total_time = 0.0;
+            for &model in &swap_sequence {
+                for resident in engine.loaded_models(AcceleratorId::Dla0) {
+                    engine.unload_model(resident, AcceleratorId::Dla0);
+                }
+                let report = engine
+                    .load_model(model, AcceleratorId::Dla0)
+                    .expect("loads");
+                total_time += report.load_time_s;
+            }
+            black_box(total_time)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets =    graph_vs_passthrough,
+    similarity_gate_on_vs_off,
+    lru_vs_evict_all_loader
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Confidence-graph construction and lookup cost.
+//!
+//! Construction is an offline step, but its cost determines how often the
+//! characterization can be refreshed; the lookup is on the critical per-frame
+//! path and must stay effectively free (the paper replaces "costly
+//! classifiers" with "a map lookup at runtime").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_bench::bench_characterization;
+use shift_core::{ConfidenceGraph, GraphConfig};
+use shift_models::ModelId;
+use std::hint::black_box;
+
+fn graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("confidence_graph/build");
+    for &samples in &[100usize, 400, 1000] {
+        let characterization = bench_characterization(samples, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &characterization,
+            |b, characterization| {
+                b.iter(|| {
+                    black_box(ConfidenceGraph::build(
+                        &characterization.samples,
+                        GraphConfig::paper_defaults(),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn graph_lookup(c: &mut Criterion) {
+    let characterization = bench_characterization(600, 11);
+    let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
+    let mut group = c.benchmark_group("confidence_graph/predict");
+    for &confidence in &[0.2f64, 0.55, 0.9] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(confidence),
+            &confidence,
+            |b, &confidence| {
+                b.iter(|| black_box(graph.predict(ModelId::YoloV7, black_box(confidence))));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn graph_lookup_distance_threshold(c: &mut Criterion) {
+    let characterization = bench_characterization(600, 11);
+    let mut group = c.benchmark_group("confidence_graph/distance_threshold");
+    for &threshold in &[0.1f64, 0.5, 1.0] {
+        let graph = ConfidenceGraph::build(
+            &characterization.samples,
+            GraphConfig::paper_defaults().with_distance_threshold(threshold),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &graph,
+            |b, graph| {
+                b.iter(|| black_box(graph.predict(ModelId::YoloV7Tiny, 0.6)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets =    graph_construction,
+    graph_lookup,
+    graph_lookup_distance_threshold
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

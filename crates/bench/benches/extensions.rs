@@ -1,0 +1,120 @@
+//! Benchmarks for the extension substrates: accuracy-predictor lookup cost,
+//! network round-trip modeling, and power-mode scaled inference probing.
+//!
+//! The predictor lookups are the numbers behind the predictor ablation: the
+//! paper's argument for the confidence graph is that prediction must stay a
+//! cheap map lookup, so the graph's lookup cost is compared against the
+//! regression and passthrough alternatives here.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_core::{
+    characterize, AccuracyPredictor, ConfidenceGraph, GraphConfig, PassthroughPredictor,
+    RegressionPredictor,
+};
+use shift_models::{ModelId, ModelZoo, Precision, ResponseModel};
+use shift_soc::{AcceleratorId, ExecutionEngine, NetworkLink, Platform, PowerMode};
+use shift_video::{CharacterizationDataset, Scenario};
+
+fn engine() -> ExecutionEngine {
+    ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(2024),
+    )
+}
+
+fn bench_predictor_lookup(c: &mut Criterion) {
+    let samples = characterize(&engine(), &CharacterizationDataset::generate(200, 7)).samples;
+    let graph = ConfidenceGraph::build(&samples, GraphConfig::paper_defaults());
+    let regression = RegressionPredictor::fit(&samples);
+    let passthrough = PassthroughPredictor::from_samples(&samples);
+
+    let mut group = c.benchmark_group("predictor_lookup");
+    group.bench_function("confidence_graph", |b| {
+        b.iter(|| graph.predict(black_box(ModelId::YoloV7), black_box(0.63)))
+    });
+    group.bench_function("pairwise_regression", |b| {
+        b.iter(|| regression.predict(black_box(ModelId::YoloV7), black_box(0.63)))
+    });
+    group.bench_function("confidence_passthrough", |b| {
+        b.iter(|| passthrough.predict(black_box(ModelId::YoloV7), black_box(0.63)))
+    });
+    group.finish();
+}
+
+fn bench_predictor_fit(c: &mut Criterion) {
+    let samples = characterize(&engine(), &CharacterizationDataset::generate(200, 7)).samples;
+    let mut group = c.benchmark_group("predictor_fit");
+    group.sample_size(10);
+    group.bench_function("confidence_graph_build", |b| {
+        b.iter(|| ConfidenceGraph::build(black_box(&samples), GraphConfig::paper_defaults()))
+    });
+    group.bench_function("regression_fit", |b| {
+        b.iter(|| RegressionPredictor::fit(black_box(&samples)))
+    });
+    group.finish();
+}
+
+fn bench_network_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_round_trip");
+    for (label, link) in [
+        ("wifi", NetworkLink::wifi()),
+        ("cellular", NetworkLink::cellular()),
+        ("degraded", NetworkLink::degraded()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &link, |b, link| {
+            b.iter(|| link.round_trip(black_box(123), black_box(0.09), black_box(0.018)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_mode_probe(c: &mut Criterion) {
+    let frame = Scenario::scenario_1().stream().next().expect("frame");
+    let mut group = c.benchmark_group("power_mode_probe");
+    for mode in PowerMode::ALL {
+        let engine = engine().with_power_mode(mode);
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &engine, |b, engine| {
+            b.iter(|| {
+                engine
+                    .probe_inference(
+                        black_box(ModelId::YoloV7),
+                        black_box(AcceleratorId::Gpu),
+                        black_box(&frame),
+                    )
+                    .expect("compatible pair")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zoo_quantization(c: &mut Criterion) {
+    let zoo = ModelZoo::standard();
+    let mut group = c.benchmark_group("zoo_quantization");
+    for precision in Precision::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(precision),
+            &precision,
+            |b, &precision| b.iter(|| zoo.with_precision(black_box(precision))),
+        );
+    }
+    group.finish();
+}
+
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_group! {
+    name = extensions;
+    config = quick_criterion();
+    targets = bench_predictor_lookup,
+        bench_predictor_fit,
+        bench_network_round_trip,
+        bench_power_mode_probe,
+        bench_zoo_quantization
+}
+criterion_main!(extensions);

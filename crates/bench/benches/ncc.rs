@@ -1,0 +1,72 @@
+//! Normalized cross-correlation cost vs. frame resolution.
+//!
+//! The NCC of Eq. 1 is the only per-frame image processing the SHIFT
+//! scheduler performs; its cost must stay far below the inference latencies
+//! it is trying to save.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_video::{ncc, ncc_regions, BoundingBox, Scenario};
+use std::hint::black_box;
+
+fn ncc_frame_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ncc/full_frame");
+    for &size in &[32usize, 64, 128, 256] {
+        let scenario = Scenario::scenario_1()
+            .with_num_frames(4)
+            .with_frame_size(size, size);
+        let frames: Vec<_> = scenario.stream().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &frames, |b, frames| {
+            b.iter(|| black_box(ncc(&frames[0].image, &frames[1].image).expect("same size")));
+        });
+    }
+    group.finish();
+}
+
+fn ncc_bbox_regions(c: &mut Criterion) {
+    let scenario = Scenario::scenario_1().with_num_frames(4);
+    let frames: Vec<_> = scenario.stream().collect();
+    let a = frames[0].truth.unwrap_or(BoundingBox::new(10.0, 10.0, 16.0, 12.0));
+    let b_box = frames[1].truth.unwrap_or(a);
+    c.bench_function("ncc/bbox_regions", |bench| {
+        bench.iter(|| {
+            black_box(ncc_regions(
+                &frames[0].image,
+                &a,
+                &frames[1].image,
+                &b_box,
+            ))
+        });
+    });
+}
+
+fn frame_rendering(c: &mut Criterion) {
+    // Rendering is part of the simulation substrate, not the paper's system,
+    // but it bounds how fast the experiments can run; track it so substrate
+    // regressions are visible.
+    let scenario = Scenario::scenario_5();
+    let stream = scenario.stream();
+    c.bench_function("ncc/frame_render_64px", |b| {
+        let mut index = 0usize;
+        b.iter(|| {
+            index = (index + 1) % scenario.num_frames();
+            black_box(stream.frame_at(index).expect("frame exists"))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets = ncc_frame_sizes, ncc_bbox_regions, frame_rendering
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

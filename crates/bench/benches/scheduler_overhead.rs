@@ -1,0 +1,89 @@
+//! Per-frame scheduler overhead (paper §III-B claim: < 2 ms per frame).
+//!
+//! Benchmarks the three runtime-critical operations separately: the full
+//! Algorithm 1 decision (including a confidence-graph lookup), the
+//! similarity gate alone, and the complete `process_frame` loop of the
+//! runtime (scheduling + execution bookkeeping, excluding the simulated
+//! inference time which is virtual).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_bench::{bench_characterization, bench_engine};
+use shift_core::{
+    CandidatePair, ConfidenceGraph, ContextDetector, GraphConfig, Scheduler, ShiftConfig,
+    ShiftRuntime,
+};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use shift_video::Scenario;
+use std::hint::black_box;
+
+fn scheduler_decision(c: &mut Criterion) {
+    let characterization = bench_characterization(400, 7);
+    let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
+    let mut scheduler = Scheduler::new(
+        ShiftConfig::paper_defaults(),
+        &characterization,
+        graph,
+    )
+    .expect("scheduler builds");
+    let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+
+    let mut group = c.benchmark_group("scheduler_overhead");
+    group.bench_function("algorithm1_gate_kept", |b| {
+        // Similarity gate keeps the current pair: the cheapest path.
+        b.iter(|| black_box(scheduler.schedule(black_box(current), 0.9, 0.95)));
+    });
+    group.bench_function("algorithm1_full_reschedule", |b| {
+        // Full pass: graph lookup, momentum update, scoring over all pairs.
+        b.iter(|| black_box(scheduler.schedule(black_box(current), 0.55, 0.1)));
+    });
+    group.finish();
+}
+
+fn context_similarity(c: &mut Criterion) {
+    let scenario = Scenario::scenario_1().with_num_frames(64);
+    let frames: Vec<_> = scenario.stream().collect();
+    let mut detector = ContextDetector::new();
+    detector.update(&frames[0], frames[0].truth.as_ref());
+
+    c.bench_function("scheduler_overhead/context_similarity_64px", |b| {
+        b.iter(|| black_box(detector.similarity(&frames[1], frames[1].truth.as_ref())));
+    });
+}
+
+fn full_frame_loop(c: &mut Criterion) {
+    let characterization = bench_characterization(400, 7);
+    let frames: Vec<_> = Scenario::scenario_1().with_num_frames(256).stream().collect();
+
+    c.bench_function("scheduler_overhead/process_frame", |b| {
+        let mut runtime = ShiftRuntime::new(
+            bench_engine(7),
+            &characterization,
+            ShiftConfig::paper_defaults(),
+        )
+        .expect("runtime builds");
+        let mut index = 0usize;
+        b.iter(|| {
+            let frame = &frames[index % frames.len()];
+            index += 1;
+            black_box(runtime.process_frame(frame).expect("frame processes"))
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets = scheduler_decision, context_similarity, full_frame_loop
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

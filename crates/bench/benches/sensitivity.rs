@@ -1,0 +1,66 @@
+//! Throughput of the Fig. 5 sensitivity sweep.
+//!
+//! The paper evaluates 1,860 parameter configurations; this benchmark tracks
+//! the cost of one swept configuration and of a small grid, which bounds the
+//! wall-clock cost of the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_experiments::fig5::{sensitivity, sweep, SweepGrid};
+use shift_experiments::ExperimentContext;
+use shift_video::CharacterizationDataset;
+use std::hint::black_box;
+
+fn sweep_context() -> ExperimentContext {
+    // Extra small: a sweep multiplies whatever scenario length we pick by the
+    // number of configurations.
+    ExperimentContext::with_options(5, CharacterizationDataset::generate(150, 5), 0.04)
+}
+
+fn single_configuration(c: &mut Criterion) {
+    let ctx = sweep_context();
+    let grid = SweepGrid {
+        accuracy_knob: vec![1.0],
+        energy_knob: vec![0.5],
+        latency_knob: vec![0.5],
+        accuracy_threshold: vec![0.25],
+        momentum: vec![30],
+        distance_threshold: vec![0.5],
+    };
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.bench_function("one_configuration", |b| {
+        b.iter(|| black_box(sweep(&ctx, &grid).expect("sweep runs")));
+    });
+    group.finish();
+}
+
+fn quick_grid(c: &mut Criterion) {
+    let ctx = sweep_context();
+    let grid = SweepGrid::quick();
+    let mut group = c.benchmark_group("sensitivity");
+    group.sample_size(10);
+    group.bench_function("quick_grid", |b| {
+        b.iter(|| {
+            let points = sweep(&ctx, &grid).expect("sweep runs");
+            black_box(sensitivity(&points))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets = single_configuration, quick_grid
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! End-to-end regeneration cost of the paper's tables.
+//!
+//! Each benchmark regenerates the data behind one table on a reduced
+//! experiment context (the full-scale run is what the `repro` binary does;
+//! here we track that the regeneration pipeline itself stays fast enough to
+//! iterate on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_baselines::{MarlinConfig, OracleObjective};
+use shift_experiments::workloads::paper_shift_config;
+use shift_experiments::{table1, table3, table4, ExperimentContext};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use shift_video::Scenario;
+use std::hint::black_box;
+
+fn bench_context() -> ExperimentContext {
+    ExperimentContext::quick(2024)
+}
+
+fn table1_and_table4(c: &mut Criterion) {
+    let ctx = bench_context();
+    c.bench_function("tables/table1", |b| {
+        b.iter(|| black_box(table1::generate(&ctx)));
+    });
+    c.bench_function("tables/table4", |b| {
+        b.iter(|| black_box(table4::generate(&ctx)));
+    });
+}
+
+fn table3_per_methodology(c: &mut Criterion) {
+    // One scenario per methodology keeps the bench short while still
+    // exercising the full per-frame pipelines that Table III aggregates.
+    let ctx = bench_context();
+    let scenario = ctx.scaled(Scenario::scenario_1());
+    let mut group = c.benchmark_group("tables/table3_scenario1");
+    group.sample_size(10);
+    group.bench_function("shift", |b| {
+        b.iter(|| black_box(ctx.run_shift(&scenario, paper_shift_config()).expect("runs")));
+    });
+    group.bench_function("marlin", |b| {
+        b.iter(|| black_box(ctx.run_marlin(&scenario, MarlinConfig::standard()).expect("runs")));
+    });
+    group.bench_function("single_yolov7_gpu", |b| {
+        b.iter(|| {
+            black_box(
+                ctx.run_single(&scenario, ModelId::YoloV7, AcceleratorId::Gpu)
+                    .expect("runs"),
+            )
+        });
+    });
+    group.bench_function("oracle_energy", |b| {
+        b.iter(|| black_box(ctx.run_oracle(&scenario, OracleObjective::Energy).expect("runs")));
+    });
+    group.finish();
+}
+
+fn table3_full(c: &mut Criterion) {
+    let ctx = bench_context();
+    let mut group = c.benchmark_group("tables/table3_full");
+    group.sample_size(10);
+    group.bench_function("all_methodologies_all_scenarios", |b| {
+        b.iter(|| black_box(table3::compute(&ctx).expect("table 3 computes")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_criterion();
+    targets = table1_and_table4, table3_per_methodology, table3_full
+);
+
+/// Shortened Criterion configuration so the full bench suite completes in a
+/// few minutes while still producing stable estimates.
+fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(15)
+}
+
+criterion_main!(benches);

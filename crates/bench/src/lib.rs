@@ -1,0 +1,53 @@
+//! # shift-bench
+//!
+//! Criterion benchmarks for the SHIFT reproduction. The benchmark targets
+//! mirror the paper's quantitative claims:
+//!
+//! * `scheduler_overhead` — the per-frame decision cost of Algorithm 1
+//!   (paper claim: "an overhead of less than 2 milliseconds per frame").
+//! * `confidence_graph` — confidence-graph construction and lookup cost as a
+//!   function of validation-set size.
+//! * `ncc` — the cost of the NCC context-similarity computation vs. frame
+//!   resolution.
+//! * `tables` — end-to-end regeneration cost of Table I, Table III and
+//!   Table IV rows.
+//! * `sensitivity` — throughput of the Fig. 5 parameter sweep.
+//! * `ablations` — design-choice ablations: confidence graph vs. naive
+//!   confidence passthrough, LRU loader vs. evict-all loader, and the
+//!   similarity gate on vs. off.
+//!
+//! This crate exposes a small library of shared fixtures so the benches do
+//! not duplicate setup code.
+
+use shift_core::{characterize, Characterization};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, Platform};
+use shift_video::CharacterizationDataset;
+
+/// Builds the standard engine used by every benchmark.
+pub fn bench_engine(seed: u64) -> ExecutionEngine {
+    ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(seed),
+    )
+}
+
+/// Builds a characterization of the given size for benchmark setup.
+pub fn bench_characterization(samples: usize, seed: u64) -> Characterization {
+    let engine = bench_engine(seed);
+    characterize(&engine, &CharacterizationDataset::generate(samples, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let engine = bench_engine(1);
+        assert_eq!(engine.zoo().len(), 8);
+        let characterization = bench_characterization(40, 1);
+        assert_eq!(characterization.sample_count(), 40);
+    }
+}

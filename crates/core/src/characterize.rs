@@ -1,0 +1,260 @@
+//! Offline model characterization (paper §III-A).
+//!
+//! The characterization pass runs every object-detection model over a
+//! validation dataset and records, per frame, the confidence score and the
+//! IoU against ground truth. The per-frame co-occurrences feed the confidence
+//! graph; the aggregates become the [`ModelTraits`] consumed by the
+//! scheduler; and the per-accelerator latency/energy statistics come from
+//! probing the execution engine.
+//!
+//! As in the paper, this step "relies solely on a testing or validation
+//! subset of the dataset used for training the models" — it never sees the
+//! evaluation scenarios.
+
+use crate::traits::{AcceleratorStats, ModelTraits};
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::ExecutionEngine;
+use shift_video::CharacterizationDataset;
+use std::collections::BTreeMap;
+
+/// What one model reported on one validation frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelObservation {
+    /// Reported confidence score (`0.0` when nothing was detected).
+    pub confidence: f64,
+    /// IoU of the reported box against the ground truth.
+    pub iou: f64,
+    /// Whether the model emitted a detection at all.
+    pub detected: bool,
+}
+
+/// All models' observations on one validation frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleObservation {
+    /// Index of the frame within the characterization dataset.
+    pub frame_index: usize,
+    /// Per-model observations.
+    pub per_model: BTreeMap<ModelId, ModelObservation>,
+}
+
+/// The complete output of the offline characterization pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Characterization {
+    /// Aggregated traits per model.
+    pub traits: BTreeMap<ModelId, ModelTraits>,
+    /// Per-frame observations (the confidence graph's training data).
+    pub samples: Vec<SampleObservation>,
+}
+
+impl Characterization {
+    /// Traits of `model`, if it was characterized.
+    pub fn traits_of(&self, model: ModelId) -> Option<&ModelTraits> {
+        self.traits.get(&model)
+    }
+
+    /// Models that were characterized, in a stable order.
+    pub fn models(&self) -> Vec<ModelId> {
+        self.traits.keys().copied().collect()
+    }
+
+    /// Number of validation samples used.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the characterization is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() || self.traits.is_empty()
+    }
+}
+
+/// Runs the full offline characterization of the engine's model zoo on
+/// `dataset`.
+///
+/// Detection accuracy and confidence are accelerator-independent (they are a
+/// property of the network), so each model is probed once per frame; latency,
+/// power and energy are characterized per accelerator from the engine's
+/// execution model.
+pub fn characterize(engine: &ExecutionEngine, dataset: &CharacterizationDataset) -> Characterization {
+    let zoo = engine.zoo().clone();
+    let accelerators = engine.platform().accelerator_ids();
+
+    // Reference accelerator used for accuracy probing: any accelerator that
+    // supports the model (first in platform order).
+    let mut samples = Vec::with_capacity(dataset.len());
+    let mut iou_sum: BTreeMap<ModelId, f64> = BTreeMap::new();
+    let mut success_count: BTreeMap<ModelId, usize> = BTreeMap::new();
+    let mut conf_sum: BTreeMap<ModelId, f64> = BTreeMap::new();
+    let mut conf_count: BTreeMap<ModelId, usize> = BTreeMap::new();
+
+    for (sample_index, frame) in dataset.iter().enumerate() {
+        let mut per_model = BTreeMap::new();
+        for spec in zoo.iter() {
+            let Some(accelerator) = accelerators
+                .iter()
+                .copied()
+                .find(|&a| spec.supports(a.target()))
+            else {
+                continue;
+            };
+            let report = engine
+                .probe_inference(spec.id, accelerator, frame)
+                .expect("pair validated as compatible");
+            let iou = report.result.iou_against(frame.truth.as_ref());
+            let confidence = report.result.confidence();
+            let detected = report.result.detection.is_some();
+            per_model.insert(
+                spec.id,
+                ModelObservation {
+                    confidence,
+                    iou,
+                    detected,
+                },
+            );
+            *iou_sum.entry(spec.id).or_insert(0.0) += iou;
+            if iou >= 0.5 {
+                *success_count.entry(spec.id).or_insert(0) += 1;
+            }
+            if detected {
+                *conf_sum.entry(spec.id).or_insert(0.0) += confidence;
+                *conf_count.entry(spec.id).or_insert(0) += 1;
+            }
+        }
+        samples.push(SampleObservation {
+            frame_index: sample_index,
+            per_model,
+        });
+    }
+
+    let n = dataset.len().max(1) as f64;
+    let mut traits = BTreeMap::new();
+    for spec in zoo.iter() {
+        let mut per_accelerator = BTreeMap::new();
+        let mut load_time_s = BTreeMap::new();
+        let mut load_energy_j = BTreeMap::new();
+        for &accelerator in &accelerators {
+            if !spec.supports(accelerator.target()) {
+                continue;
+            }
+            let perf = spec
+                .perf_on(accelerator.target())
+                .expect("support checked above");
+            per_accelerator.insert(
+                accelerator,
+                AcceleratorStats::new(perf.latency_s, perf.power_w, perf.energy_j()),
+            );
+            load_time_s.insert(accelerator, spec.load.load_time_s(accelerator.target()));
+            load_energy_j.insert(accelerator, spec.load.load_energy_j(accelerator.target()));
+        }
+        traits.insert(
+            spec.id,
+            ModelTraits {
+                model: spec.id,
+                mean_iou: iou_sum.get(&spec.id).copied().unwrap_or(0.0) / n,
+                success_rate: success_count.get(&spec.id).copied().unwrap_or(0) as f64 / n,
+                mean_confidence: conf_sum.get(&spec.id).copied().unwrap_or(0.0)
+                    / conf_count.get(&spec.id).copied().unwrap_or(0).max(1) as f64,
+                per_accelerator,
+                memory_mb: spec.load.memory_mb,
+                load_time_s,
+                load_energy_j,
+            },
+        );
+    }
+
+    Characterization { traits, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::{ModelZoo, ResponseModel};
+    use shift_soc::{AcceleratorId, Platform};
+
+    fn engine() -> ExecutionEngine {
+        ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(13),
+        )
+    }
+
+    fn small_characterization() -> Characterization {
+        characterize(&engine(), &CharacterizationDataset::generate(150, 5))
+    }
+
+    #[test]
+    fn characterization_covers_all_models_and_samples() {
+        let c = small_characterization();
+        assert_eq!(c.models().len(), 8);
+        assert_eq!(c.sample_count(), 150);
+        assert!(!c.is_empty());
+        for sample in &c.samples {
+            assert_eq!(sample.per_model.len(), 8, "every model observed per frame");
+        }
+    }
+
+    #[test]
+    fn traits_track_reference_accuracy_ordering() {
+        let c = small_characterization();
+        let strong = c.traits_of(ModelId::YoloV7).unwrap().mean_iou;
+        let weak = c.traits_of(ModelId::SsdMobilenetV2Small).unwrap().mean_iou;
+        assert!(
+            strong > weak + 0.1,
+            "YoloV7 ({strong:.3}) should clearly beat MobilenetV2-320 ({weak:.3})"
+        );
+    }
+
+    #[test]
+    fn per_accelerator_stats_match_zoo_reference() {
+        let c = small_characterization();
+        let yolo = c.traits_of(ModelId::YoloV7).unwrap();
+        let gpu = yolo.stats_on(AcceleratorId::Gpu).unwrap();
+        assert!((gpu.mean_latency_s - 0.130).abs() < 1e-9);
+        assert!((gpu.mean_energy_j - 1.968).abs() < 0.01);
+        // Both DLA cores inherit the DLA-class reference numbers.
+        let dla0 = yolo.stats_on(AcceleratorId::Dla0).unwrap();
+        let dla1 = yolo.stats_on(AcceleratorId::Dla1).unwrap();
+        assert_eq!(dla0.mean_latency_s, dla1.mean_latency_s);
+    }
+
+    #[test]
+    fn unsupported_accelerators_are_absent_from_traits() {
+        let c = small_characterization();
+        let resnet = c.traits_of(ModelId::SsdResnet50).unwrap();
+        assert!(resnet.stats_on(AcceleratorId::OakD).is_none());
+        assert!(resnet.stats_on(AcceleratorId::Cpu).is_none());
+        assert!(resnet.stats_on(AcceleratorId::Gpu).is_some());
+    }
+
+    #[test]
+    fn success_rates_are_probabilities() {
+        let c = small_characterization();
+        for (_, t) in &c.traits {
+            assert!((0.0..=1.0).contains(&t.success_rate));
+            assert!((0.0..=1.0).contains(&t.mean_iou));
+            assert!((0.0..=1.0).contains(&t.mean_confidence));
+        }
+    }
+
+    #[test]
+    fn load_costs_are_populated_per_accelerator() {
+        let c = small_characterization();
+        let tiny = c.traits_of(ModelId::YoloV7Tiny).unwrap();
+        assert!(tiny.load_time_s.get(&AcceleratorId::Gpu).unwrap() > &0.0);
+        assert!(
+            tiny.load_time_s.get(&AcceleratorId::OakD).unwrap()
+                > tiny.load_time_s.get(&AcceleratorId::Gpu).unwrap(),
+            "OAK-D loads are slower than GPU loads"
+        );
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let dataset = CharacterizationDataset::generate(60, 5);
+        let a = characterize(&engine(), &dataset);
+        let b = characterize(&engine(), &dataset);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! SHIFT runtime configuration: knobs, goals and thresholds.
+
+use crate::graph::GraphConfig;
+use serde::{Deserialize, Serialize};
+use shift_soc::AcceleratorId;
+
+/// The three tunable scheduler knobs of Algorithm 1: the weights applied to
+/// predicted accuracy, normalized (inverted) energy and normalized (inverted)
+/// latency when scoring candidate models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Knobs {
+    /// Weight of the accuracy prediction (W[0] in Algorithm 1).
+    pub accuracy: f64,
+    /// Weight of the inverted energy trait (W[1]).
+    pub energy: f64,
+    /// Weight of the inverted latency trait (W[2]).
+    pub latency: f64,
+}
+
+impl Knobs {
+    /// The knob setting used for the paper's main results (Table III):
+    /// accuracy 1.0, energy 0.5, latency 0.5.
+    pub fn paper_defaults() -> Self {
+        Self {
+            accuracy: 1.0,
+            energy: 0.5,
+            latency: 0.5,
+        }
+    }
+
+    /// A knob setting that prioritizes energy savings.
+    pub fn energy_saver() -> Self {
+        Self {
+            accuracy: 0.5,
+            energy: 1.0,
+            latency: 0.25,
+        }
+    }
+
+    /// A knob setting that prioritizes latency.
+    pub fn low_latency() -> Self {
+        Self {
+            accuracy: 0.5,
+            energy: 0.25,
+            latency: 1.0,
+        }
+    }
+
+    /// A knob setting that prioritizes accuracy above everything else.
+    pub fn accuracy_first() -> Self {
+        Self {
+            accuracy: 1.0,
+            energy: 0.1,
+            latency: 0.1,
+        }
+    }
+
+    /// Creates a knob setting, clamping negative weights to zero.
+    pub fn new(accuracy: f64, energy: f64, latency: f64) -> Self {
+        Self {
+            accuracy: accuracy.max(0.0),
+            energy: energy.max(0.0),
+            latency: latency.max(0.0),
+        }
+    }
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Complete SHIFT configuration.
+///
+/// The defaults reproduce the parameters listed under Table III of the paper:
+/// goal accuracy 0.25, momentum 30, distance threshold 0.5, knobs
+/// (accuracy 1.0, energy 0.5, latency 0.5).
+///
+/// ```
+/// use shift_core::ShiftConfig;
+///
+/// let config = ShiftConfig::paper_defaults()
+///     .with_accuracy_goal(0.4)
+///     .with_momentum(10);
+/// assert_eq!(config.accuracy_goal, 0.4);
+/// assert_eq!(config.momentum, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftConfig {
+    /// Desired accuracy threshold. Also gates the "keep the current model"
+    /// shortcut: when `similarity x confidence >= accuracy_goal` no
+    /// re-scheduling happens.
+    pub accuracy_goal: f64,
+    /// Number of recent accuracy predictions averaged per model (the paper's
+    /// *momentum* parameter).
+    pub momentum: usize,
+    /// Confidence-graph distance threshold.
+    pub distance_threshold: f64,
+    /// Scheduler knobs.
+    pub knobs: Knobs,
+    /// Confidence-bin width used when building the confidence graph.
+    pub confidence_bin_width: f64,
+    /// Accelerators the scheduler may target. The paper's 18 schedulable
+    /// pairs exclude the CPU (its latency is prohibitive for continuous OD),
+    /// so the default set is GPU, both DLAs and the OAK-D.
+    pub allowed_accelerators: Vec<AcceleratorId>,
+    /// Relative score margin a challenger pair must exceed the currently
+    /// running pair by before a swap is committed. Algorithm 1 in the paper
+    /// returns the plain arg-max; the margin adds hysteresis so that two
+    /// pairs with near-identical scores (common while no target is visible)
+    /// do not cause the runtime to thrash between models every frame. Set to
+    /// `0.0` to reproduce the un-dampened arg-max exactly.
+    pub switch_margin: f64,
+    /// Modeled per-frame scheduler overhead, seconds. The paper reports the
+    /// scheduler "maintains an overhead of less than 2 milliseconds per
+    /// frame"; the default charges 1.5 ms to every frame.
+    pub scheduler_overhead_s: f64,
+    /// Power drawn by the CPU while the scheduler runs, watts (used to charge
+    /// the energy cost of the overhead).
+    pub scheduler_power_w: f64,
+}
+
+impl ShiftConfig {
+    /// The configuration used for the paper's main results.
+    pub fn paper_defaults() -> Self {
+        Self {
+            accuracy_goal: 0.25,
+            momentum: 30,
+            distance_threshold: 0.5,
+            knobs: Knobs::paper_defaults(),
+            confidence_bin_width: 0.1,
+            allowed_accelerators: vec![
+                AcceleratorId::Gpu,
+                AcceleratorId::Dla0,
+                AcceleratorId::Dla1,
+                AcceleratorId::OakD,
+            ],
+            switch_margin: 0.05,
+            scheduler_overhead_s: 0.0015,
+            scheduler_power_w: 5.0,
+        }
+    }
+
+    /// Returns a copy with a different switch-hysteresis margin.
+    pub fn with_switch_margin(mut self, switch_margin: f64) -> Self {
+        self.switch_margin = switch_margin.max(0.0);
+        self
+    }
+
+    /// Returns a copy with a different accuracy goal.
+    pub fn with_accuracy_goal(mut self, accuracy_goal: f64) -> Self {
+        self.accuracy_goal = accuracy_goal.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a different momentum.
+    pub fn with_momentum(mut self, momentum: usize) -> Self {
+        self.momentum = momentum.max(1);
+        self
+    }
+
+    /// Returns a copy with a different distance threshold.
+    pub fn with_distance_threshold(mut self, distance_threshold: f64) -> Self {
+        self.distance_threshold = distance_threshold.max(0.0);
+        self
+    }
+
+    /// Returns a copy with different knobs.
+    pub fn with_knobs(mut self, knobs: Knobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Returns a copy restricted to the given accelerators.
+    pub fn with_allowed_accelerators(mut self, accelerators: Vec<AcceleratorId>) -> Self {
+        self.allowed_accelerators = accelerators;
+        self
+    }
+
+    /// The graph-construction parameters implied by this configuration.
+    pub fn graph_config(&self) -> GraphConfig {
+        GraphConfig::paper_defaults()
+            .with_bin_width(self.confidence_bin_width)
+            .with_distance_threshold(self.distance_threshold)
+    }
+
+    /// Energy charged per frame for running the scheduler itself, joules.
+    pub fn scheduler_overhead_energy_j(&self) -> f64 {
+        self.scheduler_overhead_s * self.scheduler_power_w
+    }
+}
+
+impl Default for ShiftConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_iii_caption() {
+        let c = ShiftConfig::paper_defaults();
+        assert_eq!(c.accuracy_goal, 0.25);
+        assert_eq!(c.momentum, 30);
+        assert_eq!(c.distance_threshold, 0.5);
+        assert_eq!(c.knobs.accuracy, 1.0);
+        assert_eq!(c.knobs.energy, 0.5);
+        assert_eq!(c.knobs.latency, 0.5);
+        assert!(c.scheduler_overhead_s < 0.002, "overhead must stay < 2 ms");
+        assert!(!c.allowed_accelerators.contains(&AcceleratorId::Cpu));
+    }
+
+    #[test]
+    fn builders_clamp_and_override() {
+        let c = ShiftConfig::paper_defaults()
+            .with_accuracy_goal(2.0)
+            .with_momentum(0)
+            .with_distance_threshold(-1.0)
+            .with_knobs(Knobs::new(-1.0, 2.0, 3.0));
+        assert_eq!(c.accuracy_goal, 1.0);
+        assert_eq!(c.momentum, 1);
+        assert_eq!(c.distance_threshold, 0.0);
+        assert_eq!(c.knobs.accuracy, 0.0);
+    }
+
+    #[test]
+    fn graph_config_inherits_threshold_and_bins() {
+        let c = ShiftConfig::paper_defaults().with_distance_threshold(0.8);
+        let g = c.graph_config();
+        assert_eq!(g.distance_threshold, 0.8);
+        assert_eq!(g.bin_width, 0.1);
+    }
+
+    #[test]
+    fn overhead_energy_is_time_times_power() {
+        let c = ShiftConfig::paper_defaults();
+        assert!(
+            (c.scheduler_overhead_energy_j() - c.scheduler_overhead_s * c.scheduler_power_w).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn knob_presets_differ() {
+        assert_ne!(Knobs::energy_saver(), Knobs::low_latency());
+        assert_eq!(Knobs::default(), Knobs::paper_defaults());
+        let e = Knobs::energy_saver();
+        assert!(e.energy > e.latency);
+        let l = Knobs::low_latency();
+        assert!(l.latency > l.energy);
+        let a = Knobs::accuracy_first();
+        assert!(a.accuracy > a.energy && a.accuracy > a.latency);
+    }
+
+    #[test]
+    fn restricted_accelerators() {
+        let c = ShiftConfig::paper_defaults()
+            .with_allowed_accelerators(vec![AcceleratorId::Gpu, AcceleratorId::Dla0]);
+        assert_eq!(c.allowed_accelerators.len(), 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Runtime context-change detection (paper §III-B, "Context Detection").
+//!
+//! The scheduler does not extract expensive semantic features from frames.
+//! It computes the normalized cross-correlation between the previous and
+//! current frame and between the crops under the previous and current
+//! bounding boxes, and takes the minimum. A low similarity means the input
+//! stream changed significantly and the current model choice should be
+//! reconsidered.
+
+use shift_video::{ncc, ncc_regions, BoundingBox, Frame, GrayImage};
+
+/// Tracks the previous frame and detection and produces the similarity score
+/// used by the scheduler's "keep the current model" gate.
+///
+/// ```
+/// use shift_core::ContextDetector;
+/// use shift_video::{BoundingBox, Scenario};
+///
+/// let scenario = Scenario::scenario_3().with_num_frames(3);
+/// let frames: Vec<_> = scenario.stream().collect();
+/// let mut detector = ContextDetector::new();
+/// // The first frame has no history: similarity is 0, forcing a scheduling pass.
+/// let bbox = frames[0].truth.unwrap();
+/// assert_eq!(detector.similarity(&frames[0], Some(&bbox)), 0.0);
+/// detector.update(&frames[0], Some(&bbox));
+/// // Consecutive frames of a hover scenario are nearly identical.
+/// let next_bbox = frames[1].truth.unwrap();
+/// assert!(detector.similarity(&frames[1], Some(&next_bbox)) > 0.8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContextDetector {
+    last_image: Option<GrayImage>,
+    last_bbox: Option<BoundingBox>,
+}
+
+impl ContextDetector {
+    /// Creates a detector with no history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Similarity between the remembered state and (`frame`, `bbox`):
+    /// `min(NCC(last image, image), NCC(last bbox crop, bbox crop))`.
+    ///
+    /// Returns `0.0` when there is no history yet (first frame) or when
+    /// either the previous or current detection is missing — both situations
+    /// should trigger a scheduling pass.
+    pub fn similarity(&self, frame: &Frame, bbox: Option<&BoundingBox>) -> f64 {
+        let Some(last_image) = &self.last_image else {
+            return 0.0;
+        };
+        let image_ncc = ncc(last_image, &frame.image).unwrap_or(0.0);
+        let bbox_ncc = match (&self.last_bbox, bbox) {
+            (Some(prev), Some(current)) => {
+                ncc_regions(last_image, prev, &frame.image, current)
+            }
+            _ => 0.0,
+        };
+        image_ncc.min(bbox_ncc).clamp(-1.0, 1.0)
+    }
+
+    /// Remembers `frame` and the detection produced on it for the next
+    /// similarity query.
+    pub fn update(&mut self, frame: &Frame, bbox: Option<&BoundingBox>) {
+        self.last_image = Some(frame.image.clone());
+        self.last_bbox = bbox.copied();
+    }
+
+    /// Whether the detector has seen at least one frame.
+    pub fn has_history(&self) -> bool {
+        self.last_image.is_some()
+    }
+
+    /// Clears the history (used when the pipeline restarts).
+    pub fn reset(&mut self) {
+        self.last_image = None;
+        self.last_bbox = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_video::Scenario;
+
+    #[test]
+    fn first_frame_has_zero_similarity() {
+        let frame = Scenario::scenario_3().stream().next().unwrap();
+        let detector = ContextDetector::new();
+        assert_eq!(detector.similarity(&frame, frame.truth.as_ref()), 0.0);
+        assert!(!detector.has_history());
+    }
+
+    #[test]
+    fn consecutive_hover_frames_are_similar() {
+        let frames: Vec<_> = Scenario::scenario_3().with_num_frames(4).stream().collect();
+        let mut detector = ContextDetector::new();
+        detector.update(&frames[0], frames[0].truth.as_ref());
+        let s = detector.similarity(&frames[1], frames[1].truth.as_ref());
+        assert!(s > 0.8, "hover frames should be similar, got {s}");
+    }
+
+    #[test]
+    fn background_change_drops_similarity() {
+        // Scenario 1 crosses background boundaries; compare similarity within
+        // a segment against similarity across the first boundary (at ~3% of
+        // the video). Camera shake is disabled so the comparison isolates the
+        // background change itself.
+        let scenario = Scenario::scenario_1().with_camera_shake(0.0);
+        let stream = scenario.stream();
+        let boundary = (0.03 * scenario.num_frames() as f64) as usize;
+        let within_a = stream.frame_at(boundary + 50).unwrap();
+        let within_b = stream.frame_at(boundary + 51).unwrap();
+        let before = stream.frame_at(boundary.saturating_sub(1)).unwrap();
+        let after = stream.frame_at(boundary + 1).unwrap();
+
+        let mut detector = ContextDetector::new();
+        detector.update(&within_a, within_a.truth.as_ref());
+        let same_segment = detector.similarity(&within_b, within_b.truth.as_ref());
+
+        let mut detector = ContextDetector::new();
+        detector.update(&before, before.truth.as_ref());
+        let across_boundary = detector.similarity(&after, after.truth.as_ref());
+
+        assert!(
+            same_segment > across_boundary,
+            "crossing a background boundary should lower similarity \
+             ({same_segment} vs {across_boundary})"
+        );
+    }
+
+    #[test]
+    fn missing_detection_forces_low_similarity() {
+        let frames: Vec<_> = Scenario::scenario_3().with_num_frames(3).stream().collect();
+        let mut detector = ContextDetector::new();
+        detector.update(&frames[0], frames[0].truth.as_ref());
+        let s = detector.similarity(&frames[1], None);
+        assert_eq!(s, 0.0, "no current detection -> bbox term is 0 -> min is 0");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let frame = Scenario::scenario_3().stream().next().unwrap();
+        let mut detector = ContextDetector::new();
+        detector.update(&frame, frame.truth.as_ref());
+        assert!(detector.has_history());
+        detector.reset();
+        assert!(!detector.has_history());
+        assert_eq!(detector.similarity(&frame, frame.truth.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn similarity_is_bounded() {
+        let frames: Vec<_> = Scenario::scenario_5().with_num_frames(30).stream().collect();
+        let mut detector = ContextDetector::new();
+        for frame in &frames {
+            let s = detector.similarity(frame, frame.truth.as_ref());
+            assert!((-1.0..=1.0).contains(&s));
+            detector.update(frame, frame.truth.as_ref());
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The end-to-end SHIFT runtime: per-frame loop combining context detection,
+//! scheduling, dynamic model loading and execution on the simulated SoC.
+
+use crate::characterize::Characterization;
+use crate::config::ShiftConfig;
+use crate::context::ContextDetector;
+use crate::graph::ConfidenceGraph;
+use crate::loader::DynamicModelLoader;
+use crate::scheduler::{CandidatePair, Scheduler};
+use crate::ShiftError;
+use serde::{Deserialize, Serialize};
+use shift_models::Detection;
+use shift_soc::ExecutionEngine;
+use shift_video::Frame;
+use std::collections::BTreeSet;
+
+/// Everything that happened while processing one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameOutcome {
+    /// Index of the frame within its stream.
+    pub frame_index: usize,
+    /// The (model, accelerator) pair that executed the frame.
+    pub pair: CandidatePair,
+    /// The detection the model reported, if any.
+    pub detection: Option<Detection>,
+    /// The confidence of that detection (0 when nothing was detected).
+    pub confidence: f64,
+    /// IoU of the detection against ground truth (0 for misses).
+    pub iou: f64,
+    /// Whether the frame counts as a success (IoU >= 0.5).
+    pub success: bool,
+    /// End-to-end latency charged to the frame: scheduler overhead + any
+    /// model-load time + inference latency, seconds.
+    pub latency_s: f64,
+    /// Energy charged to the frame, joules.
+    pub energy_j: f64,
+    /// Whether a model/accelerator swap (load) happened on this frame.
+    pub swapped: bool,
+    /// Whether a full re-scheduling pass ran on this frame.
+    pub rescheduled: bool,
+    /// The context-similarity score observed for this frame.
+    pub similarity: f64,
+}
+
+/// The SHIFT runtime.
+///
+/// Construction performs the *online-side* setup only: the confidence graph
+/// is built from a pre-computed [`Characterization`], the scheduler and the
+/// dynamic model loader are initialized, and the initial model is pre-loaded
+/// onto its accelerator (charged to the first frame).
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct ShiftRuntime {
+    engine: ExecutionEngine,
+    scheduler: Scheduler,
+    loader: DynamicModelLoader,
+    detector: ContextDetector,
+    current: CandidatePair,
+    last_confidence: f64,
+    last_detection: Option<Detection>,
+    pending_load_time_s: f64,
+    pending_load_energy_j: f64,
+    pairs_used: BTreeSet<CandidatePair>,
+    swap_count: u64,
+}
+
+impl ShiftRuntime {
+    /// Builds a runtime from an engine, an offline characterization and a
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShiftError::EmptyCharacterization`] when the
+    /// characterization has no samples and [`ShiftError::NoCandidatePairs`]
+    /// when no model can run on any allowed accelerator.
+    pub fn new(
+        engine: ExecutionEngine,
+        characterization: &Characterization,
+        config: ShiftConfig,
+    ) -> Result<Self, ShiftError> {
+        if characterization.is_empty() {
+            return Err(ShiftError::EmptyCharacterization);
+        }
+        let graph = ConfidenceGraph::build(&characterization.samples, config.graph_config());
+        let scheduler = Scheduler::new(config, characterization, graph)?;
+        let current = scheduler.initial_pair();
+        let mut runtime = Self {
+            engine,
+            scheduler,
+            loader: DynamicModelLoader::new(),
+            detector: ContextDetector::new(),
+            current,
+            last_confidence: 0.0,
+            last_detection: None,
+            pending_load_time_s: 0.0,
+            pending_load_energy_j: 0.0,
+            pairs_used: BTreeSet::new(),
+            swap_count: 0,
+        };
+        // Make the initial model resident; its load cost is charged to the
+        // first processed frame.
+        let outcome = runtime
+            .loader
+            .ensure_loaded(&mut runtime.engine, current)
+            .map_err(ShiftError::from)?;
+        runtime.pending_load_time_s = outcome.load_time_s;
+        runtime.pending_load_energy_j = outcome.load_energy_j;
+        Ok(runtime)
+    }
+
+    /// The pair currently selected for execution.
+    pub fn current_pair(&self) -> CandidatePair {
+        self.current
+    }
+
+    /// The scheduler (for inspection in tests and ablations).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The execution engine (for inspecting telemetry).
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    /// Number of model/accelerator swaps performed so far.
+    pub fn swap_count(&self) -> u64 {
+        self.swap_count
+    }
+
+    /// Distinct (model, accelerator) pairs used so far.
+    pub fn pairs_used(&self) -> usize {
+        self.pairs_used.len()
+    }
+
+    /// Processes a single frame: schedule, (re)load if needed, run inference,
+    /// update context history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates loading and execution errors from the SoC simulator.
+    pub fn process_frame(&mut self, frame: &Frame) -> Result<FrameOutcome, ShiftError> {
+        let config = self.scheduler.config().clone();
+
+        // --- Context detection and scheduling. ---
+        let similarity = self
+            .detector
+            .similarity(frame, self.last_detection_bbox().as_ref());
+        let decision = self
+            .scheduler
+            .schedule(self.current, self.last_confidence, similarity);
+
+        // --- Dynamic model loading. ---
+        let mut load_time = std::mem::take(&mut self.pending_load_time_s);
+        let mut load_energy = std::mem::take(&mut self.pending_load_energy_j);
+        let mut swapped = false;
+        if decision.pair != self.current || !self.engine.is_loaded(decision.pair.model, decision.pair.accelerator) {
+            let outcome = self.loader.ensure_loaded(&mut self.engine, decision.pair)?;
+            load_time += outcome.load_time_s;
+            load_energy += outcome.load_energy_j;
+            if decision.pair != self.current || outcome.loaded {
+                swapped = true;
+                self.swap_count += 1;
+            }
+        } else {
+            self.loader.touch(decision.pair);
+        }
+        self.current = decision.pair;
+        self.pairs_used.insert(decision.pair);
+
+        // --- Inference. ---
+        let report = self
+            .engine
+            .run_inference(decision.pair.model, decision.pair.accelerator, frame)?;
+        let detection = report.result.detection;
+        let confidence = report.result.confidence();
+        let iou = report.result.iou_against(frame.truth.as_ref());
+
+        // --- Bookkeeping for the next frame. ---
+        self.detector
+            .update(frame, detection.as_ref().map(|d| &d.bbox));
+        self.last_confidence = confidence;
+        self.last_detection = detection;
+
+        Ok(FrameOutcome {
+            frame_index: frame.index,
+            pair: decision.pair,
+            detection,
+            confidence,
+            iou,
+            success: iou >= 0.5,
+            latency_s: config.scheduler_overhead_s + load_time + report.latency_s,
+            energy_j: config.scheduler_overhead_energy_j() + load_energy + report.energy_j,
+            swapped,
+            rescheduled: decision.rescheduled,
+            similarity: decision.similarity,
+        })
+    }
+
+    /// Runs the runtime over an entire frame stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error encountered while processing a frame.
+    pub fn run<I>(&mut self, frames: I) -> Result<Vec<FrameOutcome>, ShiftError>
+    where
+        I: IntoIterator<Item = Frame>,
+    {
+        let mut outcomes = Vec::new();
+        for frame in frames {
+            outcomes.push(self.process_frame(&frame)?);
+        }
+        Ok(outcomes)
+    }
+
+    fn last_detection_bbox(&self) -> Option<shift_video::BoundingBox> {
+        self.last_detection.map(|d| d.bbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use shift_models::{ModelId, ModelZoo, ResponseModel};
+    use shift_soc::{AcceleratorId, Platform};
+    use shift_video::{CharacterizationDataset, Scenario};
+
+    fn runtime(config: ShiftConfig) -> ShiftRuntime {
+        let engine = ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(6),
+        );
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(200, 12));
+        ShiftRuntime::new(engine, &characterization, config).expect("runtime builds")
+    }
+
+    #[test]
+    fn runtime_processes_a_short_scenario() {
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let outcomes = rt
+            .run(Scenario::scenario_3().with_num_frames(40).stream())
+            .unwrap();
+        assert_eq!(outcomes.len(), 40);
+        for o in &outcomes {
+            assert!(o.latency_s > 0.0);
+            assert!(o.energy_j > 0.0);
+            assert!((0.0..=1.0).contains(&o.iou));
+            assert_eq!(o.success, o.iou >= 0.5);
+        }
+        assert!(rt.pairs_used() >= 1);
+    }
+
+    #[test]
+    fn first_frame_carries_the_initial_load_cost() {
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let frames: Vec<_> = Scenario::scenario_3().with_num_frames(5).stream().collect();
+        let first = rt.process_frame(&frames[0]).unwrap();
+        let second = rt.process_frame(&frames[1]).unwrap();
+        assert!(
+            first.latency_s > second.latency_s,
+            "first frame pays the initial model load ({} vs {})",
+            first.latency_s,
+            second.latency_s
+        );
+    }
+
+    #[test]
+    fn easy_scenario_settles_on_a_cheap_model() {
+        // Scenario 3 is a close-range hover on a plain background: after the
+        // initial frames SHIFT should migrate away from the expensive
+        // YoloV7-on-GPU configuration.
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let outcomes = rt
+            .run(Scenario::scenario_3().with_num_frames(120).stream())
+            .unwrap();
+        let later = &outcomes[60..];
+        let yolo_full_gpu = later
+            .iter()
+            .filter(|o| {
+                o.pair.model == ModelId::YoloV7 && o.pair.accelerator == AcceleratorId::Gpu
+            })
+            .count();
+        assert!(
+            yolo_full_gpu < later.len(),
+            "SHIFT should not stay pinned to YoloV7-on-GPU on an easy scenario"
+        );
+        let mean_energy: f64 =
+            later.iter().map(|o| o.energy_j).sum::<f64>() / later.len() as f64;
+        assert!(
+            mean_energy < 1.9,
+            "steady-state energy should drop below the YoloV7-GPU cost, got {mean_energy}"
+        );
+    }
+
+    #[test]
+    fn accuracy_is_maintained_on_easy_scenarios() {
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let outcomes = rt
+            .run(Scenario::scenario_3().with_num_frames(150).stream())
+            .unwrap();
+        let success_rate =
+            outcomes.iter().filter(|o| o.success).count() as f64 / outcomes.len() as f64;
+        assert!(
+            success_rate > 0.6,
+            "easy scenario success rate too low: {success_rate}"
+        );
+    }
+
+    #[test]
+    fn swaps_are_counted_and_bounded() {
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let outcomes = rt
+            .run(Scenario::scenario_1().with_num_frames(200).stream())
+            .unwrap();
+        let swaps = outcomes.iter().filter(|o| o.swapped).count() as u64;
+        assert_eq!(swaps, rt.swap_count());
+        assert!(
+            swaps < outcomes.len() as u64 / 2,
+            "swapping every other frame would defeat the similarity gate"
+        );
+    }
+
+    #[test]
+    fn scheduler_overhead_is_charged_every_frame() {
+        let config = ShiftConfig::paper_defaults();
+        let overhead = config.scheduler_overhead_s;
+        let mut rt = runtime(config);
+        let outcomes = rt
+            .run(Scenario::scenario_3().with_num_frames(10).stream())
+            .unwrap();
+        for o in outcomes {
+            assert!(o.latency_s >= overhead);
+        }
+    }
+
+    #[test]
+    fn empty_characterization_is_rejected() {
+        let engine = ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(6),
+        );
+        let empty = Characterization {
+            traits: Default::default(),
+            samples: Vec::new(),
+        };
+        let err = ShiftRuntime::new(engine, &empty, ShiftConfig::paper_defaults()).unwrap_err();
+        assert_eq!(err, ShiftError::EmptyCharacterization);
+    }
+
+    #[test]
+    fn determinism_across_identical_runs() {
+        let a = {
+            let mut rt = runtime(ShiftConfig::paper_defaults());
+            rt.run(Scenario::scenario_2().with_num_frames(80).stream())
+                .unwrap()
+        };
+        let b = {
+            let mut rt = runtime(ShiftConfig::paper_defaults());
+            rt.run(Scenario::scenario_2().with_num_frames(80).stream())
+                .unwrap()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_accelerator_usage_emerges() {
+        let mut rt = runtime(ShiftConfig::paper_defaults());
+        let outcomes = rt
+            .run(Scenario::scenario_1().with_num_frames(300).stream())
+            .unwrap();
+        let non_gpu = outcomes
+            .iter()
+            .filter(|o| o.pair.accelerator != AcceleratorId::Gpu)
+            .count();
+        assert!(
+            non_gpu > 0,
+            "SHIFT should route at least some frames off the GPU"
+        );
+    }
+}

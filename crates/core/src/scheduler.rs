@@ -1,0 +1,458 @@
+//! The SHIFT scheduling heuristic (paper Algorithm 1).
+//!
+//! Per frame the scheduler receives the currently running model, its reported
+//! confidence and the frame-similarity score from the context detector. If
+//! `similarity x confidence` still meets the accuracy goal the current model
+//! is kept (no re-scheduling, no swap cost). Otherwise the confidence graph
+//! converts the current confidence into accuracy predictions for every model,
+//! those predictions are smoothed over a momentum window, filtered by the
+//! accuracy goal, and every candidate (model, accelerator) pair is scored as
+//!
+//! ```text
+//! score = accuracy * W_acc + inverted_energy * W_energy + inverted_latency * W_lat
+//! ```
+//!
+//! with energy and latency normalized to `[0, 1]` over all candidate pairs
+//! and inverted so that bigger is better. The arg-max pair wins.
+
+use crate::characterize::Characterization;
+use crate::config::ShiftConfig;
+use crate::graph::ConfidenceGraph;
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A schedulable (model, accelerator) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// The object-detection model.
+    pub model: ModelId,
+    /// The accelerator it would execute on.
+    pub accelerator: AcceleratorId,
+}
+
+impl CandidatePair {
+    /// Creates a pair.
+    pub fn new(model: ModelId, accelerator: AcceleratorId) -> Self {
+        Self { model, accelerator }
+    }
+}
+
+impl std::fmt::Display for CandidatePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on {}", self.model, self.accelerator)
+    }
+}
+
+/// The outcome of one scheduling decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// The pair chosen for the next inference.
+    pub pair: CandidatePair,
+    /// Whether a full re-scheduling pass ran (`false` when the similarity
+    /// gate kept the current model).
+    pub rescheduled: bool,
+    /// The similarity score that drove the decision.
+    pub similarity: f64,
+    /// Scores of every candidate pair from the last re-scheduling pass
+    /// (empty when the gate short-circuited).
+    pub scores: Vec<(CandidatePair, f64)>,
+}
+
+/// The SHIFT scheduler: owns the confidence graph, the normalized
+/// energy/latency traits and the per-model momentum buffers.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    config: ShiftConfig,
+    graph: ConfidenceGraph,
+    pairs: Vec<CandidatePair>,
+    /// Normalized, inverted energy score per pair (1 = most efficient).
+    energy_score: BTreeMap<CandidatePair, f64>,
+    /// Normalized, inverted latency score per pair (1 = fastest).
+    latency_score: BTreeMap<CandidatePair, f64>,
+    /// Fallback accuracy per model (characterized mean IoU), used before the
+    /// momentum buffer has any graph predictions.
+    fallback_accuracy: BTreeMap<ModelId, f64>,
+    /// Momentum buffers of recent accuracy predictions per model.
+    buffers: BTreeMap<ModelId, VecDeque<f64>>,
+    /// Count of full re-scheduling passes performed.
+    reschedule_count: u64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler from a characterization and a pre-built confidence
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ShiftError::NoCandidatePairs`] when no characterized
+    /// model can execute on any allowed accelerator.
+    pub fn new(
+        config: ShiftConfig,
+        characterization: &Characterization,
+        graph: ConfidenceGraph,
+    ) -> Result<Self, crate::ShiftError> {
+        let mut pairs = Vec::new();
+        let mut energy_raw = BTreeMap::new();
+        let mut latency_raw = BTreeMap::new();
+        let mut fallback_accuracy = BTreeMap::new();
+        for (model, traits) in &characterization.traits {
+            fallback_accuracy.insert(*model, traits.mean_iou);
+            for &accelerator in &config.allowed_accelerators {
+                if let Some(stats) = traits.stats_on(accelerator) {
+                    let pair = CandidatePair::new(*model, accelerator);
+                    pairs.push(pair);
+                    energy_raw.insert(pair, stats.mean_energy_j);
+                    latency_raw.insert(pair, stats.mean_latency_s);
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return Err(crate::ShiftError::NoCandidatePairs);
+        }
+        let energy_score = normalize_inverted(&energy_raw);
+        let latency_score = normalize_inverted(&latency_raw);
+        Ok(Self {
+            config,
+            graph,
+            pairs,
+            energy_score,
+            latency_score,
+            fallback_accuracy,
+            buffers: BTreeMap::new(),
+            reschedule_count: 0,
+        })
+    }
+
+    /// The configuration the scheduler was built with.
+    pub fn config(&self) -> &ShiftConfig {
+        &self.config
+    }
+
+    /// The schedulable pairs.
+    pub fn candidate_pairs(&self) -> &[CandidatePair] {
+        &self.pairs
+    }
+
+    /// The confidence graph in use.
+    pub fn graph(&self) -> &ConfidenceGraph {
+        &self.graph
+    }
+
+    /// Number of full re-scheduling passes performed so far.
+    pub fn reschedule_count(&self) -> u64 {
+        self.reschedule_count
+    }
+
+    /// A reasonable initial pair: the most accurate model, placed on its most
+    /// energy-efficient allowed accelerator (mirrors a deployment that starts
+    /// from the strongest detector before any context is known).
+    pub fn initial_pair(&self) -> CandidatePair {
+        let mut best: Option<(f64, CandidatePair)> = None;
+        for pair in &self.pairs {
+            let accuracy = self.fallback_accuracy.get(&pair.model).copied().unwrap_or(0.0);
+            let efficiency = self.energy_score.get(pair).copied().unwrap_or(0.0);
+            let key = accuracy + 1e-3 * efficiency;
+            if best.map_or(true, |(k, _)| key > k) {
+                best = Some((key, *pair));
+            }
+        }
+        best.expect("constructor guarantees at least one pair").1
+    }
+
+    /// Runs Algorithm 1 for one frame.
+    ///
+    /// * `current` — the pair that produced the latest detection.
+    /// * `confidence` — the confidence it reported (0 when nothing was
+    ///   detected).
+    /// * `similarity` — the context detector's `min(NCC_image, NCC_bbox)`.
+    pub fn schedule(
+        &mut self,
+        current: CandidatePair,
+        confidence: f64,
+        similarity: f64,
+    ) -> Decision {
+        // Line 3-5: keep the current model while the context is stable and
+        // the model is confident.
+        if similarity * confidence >= self.config.accuracy_goal {
+            return Decision {
+                pair: current,
+                rescheduled: false,
+                similarity,
+                scores: Vec::new(),
+            };
+        }
+        self.reschedule_count += 1;
+
+        // Line 9: predict accuracies for every model from the current model's
+        // confidence via the confidence graph.
+        let predictions = self.graph.predict(current.model, confidence);
+
+        // Lines 11-14: push predictions into the momentum buffers and average.
+        for prediction in &predictions {
+            let buffer = self.buffers.entry(prediction.model).or_default();
+            buffer.push_back(prediction.accuracy);
+            while buffer.len() > self.config.momentum {
+                buffer.pop_front();
+            }
+        }
+        let mut averaged: BTreeMap<ModelId, f64> = BTreeMap::new();
+        for (&model, fallback) in &self.fallback_accuracy {
+            let value = match self.buffers.get(&model) {
+                Some(buffer) if !buffer.is_empty() => {
+                    buffer.iter().sum::<f64>() / buffer.len() as f64
+                }
+                _ => *fallback,
+            };
+            averaged.insert(model, value);
+        }
+
+        // Lines 15-18: keep models meeting the accuracy goal; if none do,
+        // consider every model.
+        let mut valid: Vec<ModelId> = averaged
+            .iter()
+            .filter(|(_, &a)| a >= self.config.accuracy_goal)
+            .map(|(&m, _)| m)
+            .collect();
+        if valid.is_empty() {
+            valid = averaged.keys().copied().collect();
+        }
+
+        // Lines 19-23: score candidate pairs and take the maximum.
+        let knobs = self.config.knobs;
+        let mut scores: Vec<(CandidatePair, f64)> = Vec::new();
+        for pair in &self.pairs {
+            if !valid.contains(&pair.model) {
+                continue;
+            }
+            let accuracy = averaged.get(&pair.model).copied().unwrap_or(0.0);
+            let energy = self.energy_score.get(pair).copied().unwrap_or(0.0);
+            let latency = self.latency_score.get(pair).copied().unwrap_or(0.0);
+            let score = accuracy * knobs.accuracy + energy * knobs.energy + latency * knobs.latency;
+            scores.push((*pair, score));
+        }
+        let best = scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .copied()
+            .unwrap_or((current, 0.0));
+        // Hysteresis: keep the incumbent unless the challenger clearly wins.
+        let current_score = scores
+            .iter()
+            .find(|(pair, _)| *pair == current)
+            .map(|(_, score)| *score);
+        let pair = match current_score {
+            Some(incumbent)
+                if best.0 != current
+                    && best.1 <= incumbent * (1.0 + self.config.switch_margin) =>
+            {
+                current
+            }
+            _ => best.0,
+        };
+        Decision {
+            pair,
+            rescheduled: true,
+            similarity,
+            scores,
+        }
+    }
+
+    /// Clears the momentum buffers (used between scenario runs so history
+    /// from one video does not leak into the next).
+    pub fn reset_buffers(&mut self) {
+        self.buffers.clear();
+    }
+}
+
+/// Normalizes raw (smaller-is-better) values to `[0, 1]` and inverts them so
+/// `1.0` marks the cheapest entry, as required by the scheduler's
+/// bigger-is-better maximum search. A degenerate range maps everything to 1.
+fn normalize_inverted(raw: &BTreeMap<CandidatePair, f64>) -> BTreeMap<CandidatePair, f64> {
+    let min = raw.values().copied().fold(f64::INFINITY, f64::min);
+    let max = raw.values().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    raw.iter()
+        .map(|(&pair, &value)| {
+            let normalized = if span <= f64::EPSILON {
+                1.0
+            } else {
+                1.0 - (value - min) / span
+            };
+            (pair, normalized)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use crate::graph::GraphConfig;
+    use shift_models::{ModelZoo, ResponseModel};
+    use shift_soc::{ExecutionEngine, Platform};
+    use shift_video::CharacterizationDataset;
+
+    fn build_scheduler(config: ShiftConfig) -> Scheduler {
+        let engine = ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(4),
+        );
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(200, 8));
+        let graph = ConfidenceGraph::build(
+            &characterization.samples,
+            GraphConfig::paper_defaults().with_distance_threshold(config.distance_threshold),
+        );
+        Scheduler::new(config, &characterization, graph).expect("scheduler builds")
+    }
+
+    #[test]
+    fn candidate_pairs_exclude_cpu_by_default() {
+        let scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        assert!(scheduler
+            .candidate_pairs()
+            .iter()
+            .all(|p| p.accelerator != AcceleratorId::Cpu));
+        // 8 models x (GPU + DLA0 + DLA1) + 2 x OAK-D = 26 instance-level pairs.
+        assert_eq!(scheduler.candidate_pairs().len(), 26);
+    }
+
+    #[test]
+    fn similarity_gate_keeps_the_current_pair() {
+        let mut scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        let decision = scheduler.schedule(current, 0.9, 0.95);
+        assert_eq!(decision.pair, current);
+        assert!(!decision.rescheduled);
+        assert!(decision.scores.is_empty());
+        assert_eq!(scheduler.reschedule_count(), 0);
+    }
+
+    #[test]
+    fn low_similarity_triggers_rescheduling() {
+        let mut scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        let decision = scheduler.schedule(current, 0.9, 0.1);
+        assert!(decision.rescheduled);
+        assert!(!decision.scores.is_empty());
+        assert_eq!(scheduler.reschedule_count(), 1);
+    }
+
+    #[test]
+    fn zero_confidence_always_reschedules() {
+        let mut scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        let current = CandidatePair::new(ModelId::YoloV7Tiny, AcceleratorId::OakD);
+        let decision = scheduler.schedule(current, 0.0, 1.0);
+        assert!(decision.rescheduled);
+    }
+
+    #[test]
+    fn energy_knob_pushes_choices_toward_efficient_pairs() {
+        use crate::config::Knobs;
+        let energy_cfg = ShiftConfig::paper_defaults().with_knobs(Knobs::new(0.1, 3.0, 0.0));
+        let accuracy_cfg = ShiftConfig::paper_defaults().with_knobs(Knobs::new(3.0, 0.0, 0.0));
+        let mut energy_sched = build_scheduler(energy_cfg);
+        let mut accuracy_sched = build_scheduler(accuracy_cfg);
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        // Force a re-schedule with a high confidence (hard context unknown).
+        let energy_pick = energy_sched.schedule(current, 0.8, 0.0);
+        let accuracy_pick = accuracy_sched.schedule(current, 0.8, 0.0);
+        let energy_of = |pair: &CandidatePair, s: &Scheduler| {
+            s.energy_score.get(pair).copied().unwrap_or(0.0)
+        };
+        assert!(
+            energy_of(&energy_pick.pair, &energy_sched)
+                >= energy_of(&accuracy_pick.pair, &accuracy_sched),
+            "energy-weighted scheduler should pick at least as efficient a pair"
+        );
+    }
+
+    #[test]
+    fn accuracy_first_knobs_pick_a_strong_model_when_context_is_hard() {
+        let config = ShiftConfig::paper_defaults()
+            .with_knobs(crate::config::Knobs::accuracy_first())
+            .with_accuracy_goal(0.5);
+        let mut scheduler = build_scheduler(config);
+        let current = CandidatePair::new(ModelId::SsdMobilenetV2Small, AcceleratorId::Gpu);
+        // Low confidence from the small model on a changed scene.
+        let decision = scheduler.schedule(current, 0.35, 0.1);
+        assert!(decision.rescheduled);
+        let chosen = decision.pair.model;
+        let strong_families = [
+            ModelId::YoloV7,
+            ModelId::YoloV7X,
+            ModelId::YoloV7E6E,
+            ModelId::YoloV7Tiny,
+        ];
+        assert!(
+            strong_families.contains(&chosen),
+            "accuracy-first scheduling should escalate to a YoloV7 variant, got {chosen}"
+        );
+    }
+
+    #[test]
+    fn momentum_buffer_is_bounded() {
+        let config = ShiftConfig::paper_defaults().with_momentum(5);
+        let mut scheduler = build_scheduler(config);
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        for _ in 0..50 {
+            scheduler.schedule(current, 0.6, 0.0);
+        }
+        for buffer in scheduler.buffers.values() {
+            assert!(buffer.len() <= 5);
+        }
+        scheduler.reset_buffers();
+        assert!(scheduler.buffers.is_empty());
+    }
+
+    #[test]
+    fn initial_pair_is_an_accurate_model() {
+        let scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        let pair = scheduler.initial_pair();
+        assert_eq!(pair.model, ModelId::YoloV7, "highest characterized IoU");
+    }
+
+    #[test]
+    fn no_candidate_pairs_is_an_error() {
+        let engine = ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(4),
+        );
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(20, 8));
+        let graph =
+            ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
+        let config = ShiftConfig::paper_defaults().with_allowed_accelerators(vec![]);
+        let result = Scheduler::new(config, &characterization, graph);
+        assert_eq!(result.err(), Some(crate::ShiftError::NoCandidatePairs));
+    }
+
+    #[test]
+    fn normalization_inverts_ordering() {
+        let mut raw = BTreeMap::new();
+        let a = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        let b = CandidatePair::new(ModelId::YoloV7Tiny, AcceleratorId::Gpu);
+        raw.insert(a, 2.0);
+        raw.insert(b, 0.5);
+        let normalized = normalize_inverted(&raw);
+        assert_eq!(normalized[&b], 1.0, "cheapest maps to 1");
+        assert_eq!(normalized[&a], 0.0, "most expensive maps to 0");
+    }
+
+    #[test]
+    fn degenerate_normalization_maps_to_one() {
+        let mut raw = BTreeMap::new();
+        let a = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        raw.insert(a, 3.3);
+        let normalized = normalize_inverted(&raw);
+        assert_eq!(normalized[&a], 1.0);
+    }
+
+    #[test]
+    fn decision_display_types() {
+        let pair = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Dla0);
+        assert_eq!(pair.to_string(), "YoloV7 on DLA0");
+    }
+}

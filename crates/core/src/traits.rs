@@ -1,0 +1,136 @@
+//! Characterized model traits (paper §III-A, "ODM Trait Identification").
+//!
+//! For every object-detection model the characterization pass records the
+//! five traits the paper enumerates: accuracy (IoU), confidence behaviour,
+//! latency, energy, and model-loading cost — the latter three per
+//! accelerator.
+
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use std::collections::BTreeMap;
+
+/// Latency / power / energy statistics of one model on one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorStats {
+    /// Mean single-frame inference latency, seconds.
+    pub mean_latency_s: f64,
+    /// Mean power draw during inference, watts.
+    pub mean_power_w: f64,
+    /// Mean energy per inference, joules.
+    pub mean_energy_j: f64,
+}
+
+impl AcceleratorStats {
+    /// Creates a stats record.
+    pub fn new(mean_latency_s: f64, mean_power_w: f64, mean_energy_j: f64) -> Self {
+        Self {
+            mean_latency_s,
+            mean_power_w,
+            mean_energy_j,
+        }
+    }
+}
+
+/// The characterized traits of one object-detection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelTraits {
+    /// The model.
+    pub model: ModelId,
+    /// Mean IoU over the characterization dataset.
+    pub mean_iou: f64,
+    /// Fraction of characterization frames with IoU >= 0.5.
+    pub success_rate: f64,
+    /// Mean reported confidence over frames where the model detected
+    /// something.
+    pub mean_confidence: f64,
+    /// Per-accelerator latency / power / energy statistics. Accelerators the
+    /// model cannot run on are absent.
+    pub per_accelerator: BTreeMap<AcceleratorId, AcceleratorStats>,
+    /// Resident memory footprint, MB.
+    pub memory_mb: f64,
+    /// Model load time per accelerator, seconds.
+    pub load_time_s: BTreeMap<AcceleratorId, f64>,
+    /// Model load energy per accelerator, joules.
+    pub load_energy_j: BTreeMap<AcceleratorId, f64>,
+}
+
+impl ModelTraits {
+    /// Stats of the model on `accelerator`, if supported.
+    pub fn stats_on(&self, accelerator: AcceleratorId) -> Option<AcceleratorStats> {
+        self.per_accelerator.get(&accelerator).copied()
+    }
+
+    /// Accelerators this model was characterized on.
+    pub fn accelerators(&self) -> Vec<AcceleratorId> {
+        self.per_accelerator.keys().copied().collect()
+    }
+
+    /// The most energy-efficient accelerator for this model, if any.
+    pub fn most_efficient_accelerator(&self) -> Option<AcceleratorId> {
+        self.per_accelerator
+            .iter()
+            .min_by(|a, b| {
+                a.1.mean_energy_j
+                    .partial_cmp(&b.1.mean_energy_j)
+                    .expect("energy values are finite")
+            })
+            .map(|(id, _)| *id)
+    }
+
+    /// The lowest-latency accelerator for this model, if any.
+    pub fn fastest_accelerator(&self) -> Option<AcceleratorId> {
+        self.per_accelerator
+            .iter()
+            .min_by(|a, b| {
+                a.1.mean_latency_s
+                    .partial_cmp(&b.1.mean_latency_s)
+                    .expect("latency values are finite")
+            })
+            .map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_traits() -> ModelTraits {
+        let mut per_accelerator = BTreeMap::new();
+        per_accelerator.insert(AcceleratorId::Gpu, AcceleratorStats::new(0.13, 15.1, 1.97));
+        per_accelerator.insert(AcceleratorId::Dla0, AcceleratorStats::new(0.12, 5.6, 0.66));
+        ModelTraits {
+            model: ModelId::YoloV7,
+            mean_iou: 0.62,
+            success_rate: 0.74,
+            mean_confidence: 0.8,
+            per_accelerator,
+            memory_mb: 280.0,
+            load_time_s: BTreeMap::new(),
+            load_energy_j: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn stats_lookup() {
+        let t = sample_traits();
+        assert!(t.stats_on(AcceleratorId::Gpu).is_some());
+        assert!(t.stats_on(AcceleratorId::OakD).is_none());
+        assert_eq!(t.accelerators().len(), 2);
+    }
+
+    #[test]
+    fn best_accelerator_selection() {
+        let t = sample_traits();
+        assert_eq!(t.most_efficient_accelerator(), Some(AcceleratorId::Dla0));
+        assert_eq!(t.fastest_accelerator(), Some(AcceleratorId::Dla0));
+    }
+
+    #[test]
+    fn empty_traits_have_no_best_accelerator() {
+        let mut t = sample_traits();
+        t.per_accelerator.clear();
+        assert_eq!(t.most_efficient_accelerator(), None);
+        assert_eq!(t.fastest_accelerator(), None);
+    }
+}

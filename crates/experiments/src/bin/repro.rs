@@ -1,0 +1,149 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p shift-experiments --bin repro -- all
+//! cargo run --release -p shift-experiments --bin repro -- table3 fig5
+//! cargo run --release -p shift-experiments --bin repro -- --quick all
+//! ```
+//!
+//! Artifacts: `table1`, `table3`, `table4`, `fig1`, `fig2`, `fig3`, `fig4`,
+//! `fig5`, `headline` (the paper's artifacts, collectively `all`), plus the
+//! ablation studies `ablation-predictor`, `ablation-precision`,
+//! `ablation-powermode` and `ablation-relatedwork` (collectively
+//! `ablations`). `--quick` uses the reduced dataset and scaled-down scenarios
+//! (useful for smoke tests); `--seed N` changes the simulation seed.
+
+use shift_experiments::{
+    ablations, extended, fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4,
+};
+use shift_experiments::ExperimentContext;
+use std::process::ExitCode;
+
+const PAPER_ARTIFACTS: [&str; 9] = [
+    "table1", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "headline",
+];
+
+const ABLATION_ARTIFACTS: [&str; 5] = [
+    "ablation-predictor",
+    "ablation-precision",
+    "ablation-powermode",
+    "ablation-relatedwork",
+    "extended",
+];
+
+const ARTIFACTS: [&str; 14] = [
+    "table1",
+    "table3",
+    "table4",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "headline",
+    "ablation-predictor",
+    "ablation-precision",
+    "ablation-powermode",
+    "ablation-relatedwork",
+    "extended",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = 2024u64;
+    let mut requested: Vec<String> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--seed requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(v) => seed = v,
+                    Err(_) => {
+                        eprintln!("invalid seed `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            "all" => requested.extend(PAPER_ARTIFACTS.iter().map(|s| s.to_string())),
+            "ablations" => requested.extend(ABLATION_ARTIFACTS.iter().map(|s| s.to_string())),
+            other if ARTIFACTS.contains(&other) => requested.push(other.to_string()),
+            other => {
+                eprintln!("unknown artifact `{other}`");
+                print_help();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if requested.is_empty() {
+        requested.extend(PAPER_ARTIFACTS.iter().map(|s| s.to_string()));
+    }
+    requested.dedup();
+
+    eprintln!(
+        "# building experiment context (seed {seed}, {} mode)...",
+        if quick { "quick" } else { "full" }
+    );
+    let ctx = if quick {
+        ExperimentContext::quick(seed)
+    } else {
+        ExperimentContext::new(seed)
+    };
+
+    for artifact in &requested {
+        eprintln!("# generating {artifact}...");
+        let result = match artifact.as_str() {
+            "table1" => Ok(table1::generate(&ctx)),
+            "table4" => Ok(table4::generate(&ctx)),
+            "fig1" => Ok(fig1::generate(&ctx)),
+            "table3" => table3::generate(&ctx),
+            "fig2" => fig2::generate(&ctx),
+            "fig3" => fig3::generate(&ctx),
+            "fig4" => fig4::generate(&ctx),
+            "headline" => headline::generate(&ctx),
+            "ablation-predictor" => ablations::predictor_table(&ctx),
+            "ablation-precision" => ablations::precision_table(&ctx),
+            "ablation-powermode" => ablations::power_mode_table(&ctx),
+            "ablation-relatedwork" => ablations::related_work_table(&ctx),
+            "extended" => extended::generate(&ctx),
+            "fig5" => {
+                if quick {
+                    fig5::generate_with_grid(&ctx, &fig5::SweepGrid::quick())
+                } else {
+                    fig5::generate(&ctx)
+                }
+            }
+            _ => unreachable!("artifact list is validated above"),
+        };
+        match result {
+            Ok(table) => {
+                println!("{}", table.to_text());
+                println!();
+            }
+            Err(err) => {
+                eprintln!("failed to generate {artifact}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_help() {
+    eprintln!("usage: repro [--quick] [--seed N] [artifact...]");
+    eprintln!(
+        "artifacts: {} | all (paper artifacts) | ablations (ablation studies)",
+        ARTIFACTS.join(" | ")
+    );
+}

@@ -1,0 +1,159 @@
+//! Fig. 1 — the three-way energy-accuracy-latency (e-a-l) comparison between
+//! (a) a single model family at multiple parameter sizes and (b) a
+//! multi-model zoo spanning families.
+//!
+//! The figure is a radar chart in the paper; here we reproduce the underlying
+//! data: for every model we report accuracy, inverted-normalized latency and
+//! inverted-normalized energy (bigger is better on every axis), grouped into
+//! the "single family" set (YoloV7 variants) and the "multi-model" set (all
+//! families). The paper's observation — the single family trades the three
+//! metrics monotonically while the multi-model set does not — is checked by a
+//! unit test below.
+
+use crate::ExperimentContext;
+use shift_metrics::Table;
+use shift_models::{ExecutionTarget, ModelFamily, ModelId};
+
+/// One vertex of the radar chart: a model's three normalized axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EalPoint {
+    /// The model.
+    pub model: ModelId,
+    /// Whether the point belongs to the single-family (YoloV7 sizes) subset.
+    pub single_family: bool,
+    /// Measured mean IoU (bigger is better).
+    pub accuracy: f64,
+    /// `1 - normalized latency` on the GPU (bigger is better).
+    pub inverted_latency: f64,
+    /// `1 - normalized energy` on the GPU (bigger is better).
+    pub inverted_energy: f64,
+}
+
+/// Computes the e-a-l points for every model in the zoo (GPU execution, as in
+/// the figure).
+pub fn points(ctx: &ExperimentContext) -> Vec<EalPoint> {
+    let specs: Vec<_> = ctx.zoo().iter().collect();
+    let latencies: Vec<f64> = specs
+        .iter()
+        .map(|s| s.perf_on(ExecutionTarget::Gpu).map(|p| p.latency_s).unwrap_or(0.0))
+        .collect();
+    let energies: Vec<f64> = specs
+        .iter()
+        .map(|s| s.perf_on(ExecutionTarget::Gpu).map(|p| p.energy_j()).unwrap_or(0.0))
+        .collect();
+    let (lat_min, lat_max) = bounds(&latencies);
+    let (en_min, en_max) = bounds(&energies);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let accuracy = ctx
+                .characterization()
+                .traits_of(spec.id)
+                .map(|t| t.mean_iou)
+                .unwrap_or(spec.reference_iou);
+            EalPoint {
+                model: spec.id,
+                single_family: spec.family == ModelFamily::YoloV7,
+                accuracy,
+                inverted_latency: invert(latencies[i], lat_min, lat_max),
+                inverted_energy: invert(energies[i], en_min, en_max),
+            }
+        })
+        .collect()
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
+fn invert(value: f64, min: f64, max: f64) -> f64 {
+    if (max - min).abs() < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - (value - min) / (max - min)
+    }
+}
+
+/// Renders the Fig. 1 data table.
+pub fn generate(ctx: &ExperimentContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 1: energy-accuracy-latency axes (GPU, bigger is better)",
+        &["Model", "Set", "Accuracy", "Inv. Latency", "Inv. Energy"],
+    );
+    for p in points(ctx) {
+        table.push_row(vec![
+            p.model.to_string(),
+            if p.single_family {
+                "single-family".to_string()
+            } else {
+                "multi-model".to_string()
+            },
+            format!("{:.3}", p.accuracy),
+            format!("{:.3}", p.inverted_latency),
+            format!("{:.3}", p.inverted_energy),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_has_a_point_with_bounded_axes() {
+        let ctx = ExperimentContext::quick(31);
+        let points = points(&ctx);
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.accuracy));
+            assert!((0.0..=1.0).contains(&p.inverted_latency));
+            assert!((0.0..=1.0).contains(&p.inverted_energy));
+        }
+        assert_eq!(points.iter().filter(|p| p.single_family).count(), 4);
+    }
+
+    #[test]
+    fn single_family_trade_off_is_monotonic_multi_model_is_not() {
+        // Within the YoloV7 family, more accuracy costs monotonically more
+        // energy (Fig. 1a). Across families the relationship breaks down
+        // (Fig. 1b): e.g. SSD Resnet50 is both less accurate and more energy
+        // hungry than YoloV7.
+        let ctx = ExperimentContext::quick(31);
+        let points = points(&ctx);
+        let find = |model: ModelId| points.iter().find(|p| p.model == model).unwrap();
+
+        let yolo_order = [
+            ModelId::YoloV7Tiny,
+            ModelId::YoloV7,
+            ModelId::YoloV7X,
+            ModelId::YoloV7E6E,
+        ];
+        for pair in yolo_order.windows(2) {
+            let smaller = find(pair[0]);
+            let larger = find(pair[1]);
+            assert!(
+                larger.inverted_energy <= smaller.inverted_energy + 1e-9,
+                "within the family, bigger models must cost more energy"
+            );
+        }
+
+        let yolov7 = find(ModelId::YoloV7);
+        let resnet = find(ModelId::SsdResnet50);
+        assert!(
+            resnet.accuracy < yolov7.accuracy && resnet.inverted_energy < yolov7.inverted_energy,
+            "across families a model can lose on both axes (non-monotone trade-off)"
+        );
+    }
+
+    #[test]
+    fn rendered_table_has_both_sets() {
+        let ctx = ExperimentContext::quick(31);
+        let md = generate(&ctx).to_markdown();
+        assert!(md.contains("single-family"));
+        assert!(md.contains("multi-model"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Fig. 3 — Scenario 1 timeline: SHIFT's model/accelerator switches against
+//! the changing scene context ("drone navigates across multiple backgrounds
+//! at varying distances from the camera").
+
+use crate::workloads::{fig3_scenario, paper_shift_config};
+use crate::{ExperimentContext, ExperimentError};
+use shift_metrics::{RunSummary, Table, Timeline};
+use shift_video::Scenario;
+
+/// Number of time buckets used when rendering the timeline as a table.
+pub const BUCKETS: usize = 12;
+
+/// The timeline data behind a scenario figure (Fig. 3 or Fig. 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTimeline {
+    /// Name of the scenario.
+    pub scenario: String,
+    /// Bucketed mean context difficulty (ground-truth, for reference).
+    pub difficulty: Vec<f64>,
+    /// Bucketed mean IoU achieved by SHIFT.
+    pub iou: Vec<f64>,
+    /// Bucketed mean per-frame energy of SHIFT, joules.
+    pub energy: Vec<f64>,
+    /// Frame indices at which SHIFT switched its (model, accelerator) pair.
+    pub switch_points: Vec<usize>,
+    /// Run summary over the whole scenario.
+    pub summary: RunSummary,
+}
+
+/// Computes the SHIFT timeline for an arbitrary scenario.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn compute_for(
+    ctx: &ExperimentContext,
+    scenario: &Scenario,
+) -> Result<ScenarioTimeline, ExperimentError> {
+    let records = ctx.run_shift(scenario, paper_shift_config())?;
+    let timeline = Timeline::new("SHIFT", records.clone());
+    let difficulty: Vec<f64> = bucket_difficulty(scenario, BUCKETS);
+    Ok(ScenarioTimeline {
+        scenario: scenario.name().to_string(),
+        difficulty,
+        iou: timeline.bucketed(BUCKETS, |r| r.iou),
+        energy: timeline.bucketed(BUCKETS, |r| r.energy_j),
+        switch_points: timeline.switch_points(),
+        summary: RunSummary::from_records(format!("SHIFT / {}", scenario.name()), &records),
+    })
+}
+
+/// Computes the Fig. 3 timeline (Scenario 1).
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn compute(ctx: &ExperimentContext) -> Result<ScenarioTimeline, ExperimentError> {
+    compute_for(ctx, &fig3_scenario(ctx))
+}
+
+/// Mean ground-truth context difficulty per time bucket.
+pub fn bucket_difficulty(scenario: &Scenario, buckets: usize) -> Vec<f64> {
+    let buckets = buckets.max(1);
+    let n = scenario.num_frames();
+    let mut sums = vec![0.0; buckets];
+    let mut counts = vec![0usize; buckets];
+    for i in 0..n {
+        let bucket = (i * buckets / n).min(buckets - 1);
+        sums[bucket] += scenario.context_at(i).difficulty();
+        counts[bucket] += 1;
+    }
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+/// Renders a scenario timeline as a table (shared by Fig. 3 and Fig. 4).
+pub fn render(title: &str, timeline: &ScenarioTimeline) -> Table {
+    let mut headers: Vec<String> = vec!["Series".to_string()];
+    headers.extend((0..BUCKETS).map(|b| format!("t{b}")));
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut table = Table::new(title, &header_refs);
+    let push_series = |table: &mut Table, name: &str, series: &[f64]| {
+        let mut row = vec![name.to_string()];
+        row.extend(series.iter().map(|v| format!("{v:.2}")));
+        table.push_row(row);
+    };
+    push_series(&mut table, "context difficulty", &timeline.difficulty);
+    push_series(&mut table, "SHIFT IoU", &timeline.iou);
+    push_series(&mut table, "SHIFT energy (J)", &timeline.energy);
+    table
+}
+
+/// Renders Fig. 3.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn generate(ctx: &ExperimentContext) -> Result<Table, ExperimentError> {
+    let timeline = compute(ctx)?;
+    Ok(render(
+        &format!(
+            "Fig. 3: Scenario 1 timeline ({} model switches, mean IoU {:.3})",
+            timeline.switch_points.len(),
+            timeline.summary.mean_iou
+        ),
+        &timeline,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_timeline() -> &'static ScenarioTimeline {
+        static TIMELINE: std::sync::OnceLock<ScenarioTimeline> = std::sync::OnceLock::new();
+        TIMELINE.get_or_init(|| compute(&ExperimentContext::quick(51)).expect("fig3 computes"))
+    }
+
+    #[test]
+    fn timeline_has_expected_shape() {
+        let t = quick_timeline();
+        assert_eq!(t.difficulty.len(), BUCKETS);
+        assert_eq!(t.iou.len(), BUCKETS);
+        assert_eq!(t.energy.len(), BUCKETS);
+        assert_eq!(t.scenario, "scenario-1");
+        assert!(t.summary.frames > 0);
+    }
+
+    #[test]
+    fn shift_adapts_its_model_choice_on_scenario_1() {
+        // The paper highlights transitions around the background changes. At
+        // the reduced test scale the exact switch count depends on the seed,
+        // so this asserts the robust part: SHIFT moves away from the naive
+        // YoloV7-on-GPU deployment (at least one swap is recorded, and the
+        // chosen accelerators are not GPU-only). The full-length switching
+        // behaviour is reported in EXPERIMENTS.md from the release run.
+        let t = quick_timeline();
+        assert!(
+            t.summary.model_swaps >= 1,
+            "SHIFT should perform at least one model swap on scenario 1"
+        );
+        assert!(
+            t.summary.non_gpu_fraction > 0.0,
+            "SHIFT should use non-GPU accelerators on scenario 1"
+        );
+    }
+
+    #[test]
+    fn difficulty_peaks_mid_scenario() {
+        // Scenario 1 moves the drone far away in the middle of the video, so
+        // the middle buckets must be harder than the first bucket.
+        let t = quick_timeline();
+        let first = t.difficulty[0];
+        let middle = t.difficulty[BUCKETS / 2];
+        assert!(
+            middle > first,
+            "mid-scenario difficulty {middle} should exceed start {first}"
+        );
+    }
+
+    #[test]
+    fn rendered_table_contains_three_series() {
+        let t = quick_timeline();
+        let table = render("Fig. 3", t);
+        assert_eq!(table.row_count(), 3);
+        assert_eq!(table.column_count(), BUCKETS + 1);
+    }
+}

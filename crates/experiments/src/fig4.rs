@@ -1,0 +1,77 @@
+//! Fig. 4 — Scenario 2 timeline: the drone crosses simpler backgrounds at a
+//! fixed distance, leaving the camera's field of view twice. SHIFT must
+//! detect the re-appearances and conserve resources while no target is
+//! visible.
+
+use crate::fig3::{compute_for, render, ScenarioTimeline};
+use crate::workloads::fig4_scenario;
+use crate::{ExperimentContext, ExperimentError};
+use shift_metrics::Table;
+
+/// Computes the Fig. 4 timeline (Scenario 2).
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn compute(ctx: &ExperimentContext) -> Result<ScenarioTimeline, ExperimentError> {
+    compute_for(ctx, &fig4_scenario(ctx))
+}
+
+/// Renders Fig. 4.
+///
+/// # Errors
+///
+/// Propagates execution failures.
+pub fn generate(ctx: &ExperimentContext) -> Result<Table, ExperimentError> {
+    let timeline = compute(ctx)?;
+    Ok(render(
+        &format!(
+            "Fig. 4: Scenario 2 timeline ({} model switches, mean IoU {:.3})",
+            timeline.switch_points.len(),
+            timeline.summary.mean_iou
+        ),
+        &timeline,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig3::BUCKETS;
+
+    fn quick_timeline() -> &'static ScenarioTimeline {
+        static TIMELINE: std::sync::OnceLock<ScenarioTimeline> = std::sync::OnceLock::new();
+        TIMELINE.get_or_init(|| compute(&ExperimentContext::quick(61)).expect("fig4 computes"))
+    }
+
+    #[test]
+    fn timeline_covers_scenario_2() {
+        let t = quick_timeline();
+        assert_eq!(t.scenario, "scenario-2");
+        assert_eq!(t.iou.len(), BUCKETS);
+    }
+
+    #[test]
+    fn absence_windows_depress_iou() {
+        // Scenario 2 starts with the target out of view (first 8% of the
+        // video): the first bucket's IoU must be below the overall mean.
+        let t = quick_timeline();
+        let mean_iou = t.summary.mean_iou;
+        assert!(
+            t.iou[0] < mean_iou + 1e-9,
+            "first bucket (target absent) IoU {} should not exceed the mean {}",
+            t.iou[0],
+            mean_iou
+        );
+        // And the out-of-view buckets are maximally difficult.
+        assert!(t.difficulty[0] > 0.9);
+    }
+
+    #[test]
+    fn rendered_table_mentions_switches() {
+        let ctx = ExperimentContext::quick(62);
+        let table = generate(&ctx).unwrap();
+        assert!(table.title().contains("Scenario 2"));
+        assert_eq!(table.row_count(), 3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Table I — average IoU, inference time, power and energy of three
+//! representative models on the CPU, GPU and DLA.
+
+use crate::{ExperimentContext, workloads::TABLE1_MODELS};
+use shift_metrics::Table;
+use shift_models::ExecutionTarget;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Model name as printed in the paper.
+    pub model: String,
+    /// Mean IoU measured over the characterization dataset.
+    pub iou: f64,
+    /// Inference seconds per target (CPU, GPU, DLA); `None` when unsupported.
+    pub inference_s: [Option<f64>; 3],
+    /// Power draw per target, watts.
+    pub power_w: [Option<f64>; 3],
+    /// Energy per inference per target, joules.
+    pub energy_j: [Option<f64>; 3],
+}
+
+/// Computes the rows of Table I from the context's zoo and characterization.
+pub fn rows(ctx: &ExperimentContext) -> Vec<Table1Row> {
+    let targets = [
+        ExecutionTarget::Cpu,
+        ExecutionTarget::Gpu,
+        ExecutionTarget::Dla,
+    ];
+    TABLE1_MODELS
+        .iter()
+        .map(|&model| {
+            let spec = ctx.zoo().spec(model);
+            let iou = ctx
+                .characterization()
+                .traits_of(model)
+                .map(|t| t.mean_iou)
+                .unwrap_or(spec.reference_iou);
+            let mut inference_s = [None; 3];
+            let mut power_w = [None; 3];
+            let mut energy_j = [None; 3];
+            for (i, &target) in targets.iter().enumerate() {
+                if let Ok(perf) = spec.perf_on(target) {
+                    inference_s[i] = Some(perf.latency_s);
+                    power_w[i] = Some(perf.power_w);
+                    energy_j[i] = Some(perf.energy_j());
+                }
+            }
+            Table1Row {
+                model: model.to_string(),
+                iou,
+                inference_s,
+                power_w,
+                energy_j,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table I.
+pub fn generate(ctx: &ExperimentContext) -> Table {
+    let mut table = Table::new(
+        "Table I: single-model statistics on CPU, GPU and DLA",
+        &[
+            "Model", "IoU", "Inf CPU (s)", "Inf GPU (s)", "Inf DLA (s)", "Pow CPU (W)",
+            "Pow GPU (W)", "Pow DLA (W)", "E CPU (J)", "E GPU (J)", "E DLA (J)",
+        ],
+    );
+    let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+    for row in rows(ctx) {
+        table.push_row(vec![
+            row.model.clone(),
+            format!("{:.2}", row.iou),
+            fmt(row.inference_s[0]),
+            fmt(row.inference_s[1]),
+            fmt(row.inference_s[2]),
+            fmt(row.power_w[0]),
+            fmt(row.power_w[1]),
+            fmt(row.power_w[2]),
+            fmt(row.energy_j[0]),
+            fmt(row.energy_j[1]),
+            fmt(row.energy_j[2]),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_three_rows_matching_paper_support() {
+        let ctx = ExperimentContext::quick(9);
+        let rows = rows(&ctx);
+        assert_eq!(rows.len(), 3);
+        // YoloV7 has CPU numbers; MobilenetV1 does not (Table I prints "-").
+        assert!(rows[0].inference_s[0].is_some());
+        assert!(rows[2].inference_s[0].is_none());
+        // Every model has GPU and DLA numbers.
+        for row in &rows {
+            assert!(row.inference_s[1].is_some());
+            assert!(row.inference_s[2].is_some());
+        }
+    }
+
+    #[test]
+    fn energy_shape_matches_paper() {
+        // GPU inference is faster but more power hungry than the CPU; the DLA
+        // is the most energy efficient for YoloV7.
+        let ctx = ExperimentContext::quick(9);
+        let rows = rows(&ctx);
+        let yolo = &rows[0];
+        let cpu_t = yolo.inference_s[0].unwrap();
+        let gpu_t = yolo.inference_s[1].unwrap();
+        assert!(gpu_t < cpu_t);
+        let gpu_e = yolo.energy_j[1].unwrap();
+        let dla_e = yolo.energy_j[2].unwrap();
+        let cpu_e = yolo.energy_j[0].unwrap();
+        assert!(dla_e < gpu_e);
+        assert!(gpu_e < cpu_e);
+    }
+
+    #[test]
+    fn rendered_table_mentions_all_models() {
+        let ctx = ExperimentContext::quick(9);
+        let md = generate(&ctx).to_markdown();
+        assert!(md.contains("YoloV7"));
+        assert!(md.contains("YoloV7-Tiny"));
+        assert!(md.contains("MobilenetV1"));
+        assert!(md.contains("-"), "unsupported cells are dashes");
+    }
+}

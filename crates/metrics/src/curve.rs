@@ -1,0 +1,202 @@
+//! Detection-quality curves: success rate vs. IoU threshold, efficiency
+//! frontiers, and knee-point analysis.
+//!
+//! The paper fixes a single operating point (IoU ≥ 0.5 defines a "success");
+//! these helpers generalize that to full curves so the reproduction can show
+//! *how sensitive* each methodology's ranking is to the chosen threshold and
+//! where each method sits on the accuracy-per-joule frontier.
+
+use crate::record::FrameRecord;
+use crate::summary::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// One point of a success-rate-vs-threshold curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// IoU threshold defining a successful frame.
+    pub threshold: f64,
+    /// Fraction of frames whose IoU meets or exceeds the threshold.
+    pub success_rate: f64,
+}
+
+/// Computes the success rate of `records` at each IoU threshold in
+/// `thresholds`.
+///
+/// ```
+/// use shift_metrics::{curve::success_curve, FrameRecord};
+/// use shift_models::ModelId;
+/// use shift_soc::AcceleratorId;
+///
+/// let records = [
+///     FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.8, 0.1, 1.0, false),
+///     FrameRecord::new(1, ModelId::YoloV7, AcceleratorId::Gpu, 0.4, 0.1, 1.0, false),
+/// ];
+/// let curve = success_curve(&records, &[0.3, 0.5, 0.9]);
+/// assert_eq!(curve[0].success_rate, 1.0);
+/// assert_eq!(curve[1].success_rate, 0.5);
+/// assert_eq!(curve[2].success_rate, 0.0);
+/// ```
+pub fn success_curve(records: &[FrameRecord], thresholds: &[f64]) -> Vec<ThresholdPoint> {
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let success_rate = if records.is_empty() {
+                0.0
+            } else {
+                records.iter().filter(|r| r.iou >= threshold).count() as f64
+                    / records.len() as f64
+            };
+            ThresholdPoint {
+                threshold,
+                success_rate,
+            }
+        })
+        .collect()
+}
+
+/// The default threshold grid: 0.05 steps from 0.05 to 0.95.
+pub fn default_thresholds() -> Vec<f64> {
+    (1..=19).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Area under the success-rate-vs-threshold curve, computed with the
+/// trapezoidal rule. A scalar summary of detection quality that does not
+/// depend on the single 0.5 operating point (analogous to average precision).
+pub fn average_success(records: &[FrameRecord]) -> f64 {
+    let thresholds = default_thresholds();
+    let curve = success_curve(records, &thresholds);
+    if curve.len() < 2 {
+        return curve.first().map(|p| p.success_rate).unwrap_or(0.0);
+    }
+    let mut area = 0.0;
+    for pair in curve.windows(2) {
+        let width = pair[1].threshold - pair[0].threshold;
+        area += 0.5 * width * (pair[0].success_rate + pair[1].success_rate);
+    }
+    area / (curve.last().unwrap().threshold - curve[0].threshold)
+}
+
+/// One methodology's position in accuracy-energy space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Methodology label.
+    pub label: String,
+    /// Mean IoU of the run.
+    pub mean_iou: f64,
+    /// Mean energy per frame, joules.
+    pub mean_energy_j: f64,
+    /// Whether the point is Pareto-optimal among the supplied summaries
+    /// (no other method has both higher IoU and lower energy).
+    pub pareto_optimal: bool,
+}
+
+/// Computes the accuracy-energy frontier over a set of run summaries and
+/// marks the Pareto-optimal methods.
+pub fn accuracy_energy_frontier(summaries: &[RunSummary]) -> Vec<FrontierPoint> {
+    summaries
+        .iter()
+        .map(|candidate| {
+            let dominated = summaries.iter().any(|other| {
+                !std::ptr::eq(other, candidate)
+                    && other.mean_iou >= candidate.mean_iou
+                    && other.mean_energy_j <= candidate.mean_energy_j
+                    && (other.mean_iou > candidate.mean_iou
+                        || other.mean_energy_j < candidate.mean_energy_j)
+            });
+            FrontierPoint {
+                label: candidate.label.clone(),
+                mean_iou: candidate.mean_iou,
+                mean_energy_j: candidate.mean_energy_j,
+                pareto_optimal: !dominated,
+            }
+        })
+        .collect()
+}
+
+/// Scalar efficiency of a run: IoU delivered per joule (the paper's Fig. 2
+/// metric aggregated over a whole run). Zero-energy runs score zero.
+pub fn run_efficiency(summary: &RunSummary) -> f64 {
+    if summary.mean_energy_j <= 0.0 {
+        0.0
+    } else {
+        summary.mean_iou / summary.mean_energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    fn record(iou: f64, energy: f64) -> FrameRecord {
+        FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, iou, 0.1, energy, false)
+    }
+
+    #[test]
+    fn success_curve_is_monotonically_non_increasing() {
+        let records: Vec<_> = (0..50).map(|i| record(i as f64 / 50.0, 1.0)).collect();
+        let curve = success_curve(&records, &default_thresholds());
+        for pair in curve.windows(2) {
+            assert!(pair[1].success_rate <= pair[0].success_rate + 1e-12);
+        }
+    }
+
+    #[test]
+    fn success_curve_on_empty_records_is_zero() {
+        let curve = success_curve(&[], &[0.5]);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].success_rate, 0.0);
+    }
+
+    #[test]
+    fn average_success_orders_strong_above_weak() {
+        let strong: Vec<_> = (0..40).map(|_| record(0.8, 1.0)).collect();
+        let weak: Vec<_> = (0..40).map(|_| record(0.3, 1.0)).collect();
+        assert!(average_success(&strong) > average_success(&weak));
+        assert!(average_success(&strong) <= 1.0);
+        assert_eq!(average_success(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_success_of_perfect_detector_is_one() {
+        let perfect: Vec<_> = (0..10).map(|_| record(1.0, 1.0)).collect();
+        assert!((average_success(&perfect) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_marks_dominated_points() {
+        let good = RunSummary::from_records("good", &[record(0.8, 0.5)]);
+        let dominated = RunSummary::from_records("dominated", &[record(0.6, 1.0)]);
+        let cheap = RunSummary::from_records("cheap", &[record(0.4, 0.1)]);
+        let frontier = accuracy_energy_frontier(&[good, dominated, cheap]);
+        let by_label = |label: &str| frontier.iter().find(|p| p.label == label).unwrap();
+        assert!(by_label("good").pareto_optimal);
+        assert!(!by_label("dominated").pareto_optimal);
+        assert!(by_label("cheap").pareto_optimal);
+    }
+
+    #[test]
+    fn identical_points_are_both_optimal() {
+        let a = RunSummary::from_records("a", &[record(0.5, 0.5)]);
+        let b = RunSummary::from_records("b", &[record(0.5, 0.5)]);
+        let frontier = accuracy_energy_frontier(&[a, b]);
+        assert!(frontier.iter().all(|p| p.pareto_optimal));
+    }
+
+    #[test]
+    fn run_efficiency_is_iou_per_joule() {
+        let summary = RunSummary::from_records("x", &[record(0.6, 2.0)]);
+        assert!((run_efficiency(&summary) - 0.3).abs() < 1e-12);
+        let empty = RunSummary::from_records("empty", &[]);
+        assert_eq!(run_efficiency(&empty), 0.0);
+    }
+
+    #[test]
+    fn default_threshold_grid_spans_unit_interval() {
+        let grid = default_thresholds();
+        assert_eq!(grid.len(), 19);
+        assert!((grid[0] - 0.05).abs() < 1e-12);
+        assert!((grid[18] - 0.95).abs() < 1e-12);
+    }
+}

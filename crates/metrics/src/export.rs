@@ -1,0 +1,269 @@
+//! Plain-text exporters for per-frame records and run summaries.
+//!
+//! The experiment harness and the examples want to hand their results to
+//! external plotting tools (the paper's figures are line plots over frame
+//! indices and bar/radar charts over methodologies). To avoid pulling a
+//! serialization format crate into the workspace, this module writes the two
+//! interchange formats those tools actually need by hand: RFC-4180-style CSV
+//! and a minimal JSON subset (arrays of flat objects with string/number/bool
+//! fields).
+
+use crate::record::FrameRecord;
+use crate::summary::RunSummary;
+use std::fmt::Write as _;
+
+/// Header row of [`records_to_csv`].
+pub const RECORD_CSV_HEADER: &str =
+    "frame_index,model,accelerator,iou,latency_s,energy_j,swapped";
+
+/// Header row of [`summaries_to_csv`].
+pub const SUMMARY_CSV_HEADER: &str = "label,frames,mean_iou,mean_latency_s,mean_energy_j,\
+success_rate,non_gpu_fraction,model_swaps,pairs_used,total_energy_j,total_latency_s";
+
+/// Escapes one CSV field: fields containing commas, quotes or newlines are
+/// quoted, and embedded quotes are doubled.
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Escapes one JSON string value.
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float for export: finite values print with full round-trip
+/// precision, non-finite values become `0`.
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders per-frame records as CSV, one row per frame, including the header.
+///
+/// ```
+/// use shift_metrics::{export::records_to_csv, FrameRecord};
+/// use shift_models::ModelId;
+/// use shift_soc::AcceleratorId;
+///
+/// let records = [FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.7, 0.1, 1.9, false)];
+/// let csv = records_to_csv(&records);
+/// assert!(csv.starts_with("frame_index,model"));
+/// assert!(csv.lines().count() == 2);
+/// ```
+pub fn records_to_csv(records: &[FrameRecord]) -> String {
+    let mut out = String::from(RECORD_CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.frame_index,
+            csv_escape(&r.model.to_string()),
+            csv_escape(&r.accelerator.to_string()),
+            number(r.iou),
+            number(r.latency_s),
+            number(r.energy_j),
+            r.swapped
+        );
+    }
+    out
+}
+
+/// Renders per-frame records as a JSON array of flat objects.
+pub fn records_to_json(records: &[FrameRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"frame_index\":{},\"model\":\"{}\",\"accelerator\":\"{}\",\"iou\":{},\
+             \"latency_s\":{},\"energy_j\":{},\"swapped\":{}}}",
+            r.frame_index,
+            json_escape(&r.model.to_string()),
+            json_escape(&r.accelerator.to_string()),
+            number(r.iou),
+            number(r.latency_s),
+            number(r.energy_j),
+            r.swapped
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders run summaries as CSV, one row per methodology, including the
+/// header.
+pub fn summaries_to_csv(summaries: &[RunSummary]) -> String {
+    let mut out = String::from(SUMMARY_CSV_HEADER);
+    out.push('\n');
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&s.label),
+            s.frames,
+            number(s.mean_iou),
+            number(s.mean_latency_s),
+            number(s.mean_energy_j),
+            number(s.success_rate),
+            number(s.non_gpu_fraction),
+            s.model_swaps,
+            s.pairs_used,
+            number(s.total_energy_j),
+            number(s.total_latency_s)
+        );
+    }
+    out
+}
+
+/// Renders run summaries as a JSON array of flat objects.
+pub fn summaries_to_json(summaries: &[RunSummary]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in summaries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"frames\":{},\"mean_iou\":{},\"mean_latency_s\":{},\
+             \"mean_energy_j\":{},\"success_rate\":{},\"non_gpu_fraction\":{},\
+             \"model_swaps\":{},\"pairs_used\":{},\"total_energy_j\":{},\"total_latency_s\":{}}}",
+            json_escape(&s.label),
+            s.frames,
+            number(s.mean_iou),
+            number(s.mean_latency_s),
+            number(s.mean_energy_j),
+            number(s.success_rate),
+            number(s.non_gpu_fraction),
+            s.model_swaps,
+            s.pairs_used,
+            number(s.total_energy_j),
+            number(s.total_latency_s)
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a generic named series (e.g. a per-frame efficiency timeline) as a
+/// two-column CSV.
+pub fn series_to_csv(name: &str, values: &[f64]) -> String {
+    let mut out = format!("index,{}\n", csv_escape(name));
+    for (i, v) in values.iter().enumerate() {
+        let _ = writeln!(out, "{},{}", i, number(*v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    fn records() -> Vec<FrameRecord> {
+        vec![
+            FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.72, 0.13, 1.97, false),
+            FrameRecord::new(1, ModelId::YoloV7Tiny, AcceleratorId::Dla0, 0.55, 0.024, 0.13, true),
+        ]
+    }
+
+    #[test]
+    fn record_csv_has_header_and_one_row_per_record() {
+        let csv = records_to_csv(&records());
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], RECORD_CSV_HEADER);
+        assert!(lines[1].starts_with("0,YoloV7,GPU,0.72"));
+        assert!(lines[2].ends_with("true"));
+    }
+
+    #[test]
+    fn record_json_is_an_array_of_objects() {
+        let json = records_to_json(&records());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert_eq!(json.matches("{\"frame_index\"").count(), 2);
+        assert!(json.contains(&format!("\"model\":\"{}\"", ModelId::YoloV7Tiny)));
+        assert!(json.contains("\"swapped\":true"));
+        assert!(records_to_json(&[]).eq("[]"));
+    }
+
+    #[test]
+    fn summary_csv_round_trips_the_label() {
+        let summary = RunSummary::from_records("SHIFT, tuned", &records());
+        let csv = summaries_to_csv(&[summary]);
+        assert!(csv.contains("\"SHIFT, tuned\""), "comma forces quoting");
+        assert!(csv.lines().count() == 2);
+    }
+
+    #[test]
+    fn summary_json_contains_all_columns() {
+        let summary = RunSummary::from_records("Oracle \"A\"", &records());
+        let json = summaries_to_json(&[summary]);
+        assert!(json.contains("\\\"A\\\""), "quotes are escaped");
+        for key in [
+            "mean_iou",
+            "mean_latency_s",
+            "mean_energy_j",
+            "success_rate",
+            "non_gpu_fraction",
+            "model_swaps",
+            "pairs_used",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn series_csv_enumerates_indices() {
+        let csv = series_to_csv("efficiency", &[0.5, 0.25]);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines, vec!["index,efficiency", "0,0.5", "1,0.25"]);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_sanitized() {
+        assert_eq!(number(f64::NAN), "0");
+        assert_eq!(number(f64::INFINITY), "0");
+        assert_eq!(number(1.25), "1.25");
+    }
+
+    #[test]
+    fn csv_escape_handles_quotes_and_newlines() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,45 @@
+//! # shift-metrics
+//!
+//! Per-frame records, run summaries, statistics and report tables for the
+//! SHIFT reproduction.
+//!
+//! Every runtime in this workspace (SHIFT, the single-model baselines, Marlin
+//! and the Oracles) reduces its execution to a sequence of [`FrameRecord`]s.
+//! [`RunSummary`] aggregates them into exactly the columns of the paper's
+//! Table III (average IoU, time, energy, success rate, non-GPU share, model
+//! swaps, pairs used), [`Timeline`] produces the per-frame efficiency series
+//! behind Figures 2-4, and [`report`] renders aligned text / markdown tables
+//! for the reproduction harness.
+//!
+//! ```
+//! use shift_metrics::{FrameRecord, RunSummary};
+//! use shift_models::ModelId;
+//! use shift_soc::AcceleratorId;
+//!
+//! let records = vec![
+//!     FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.7, 0.13, 1.9, false),
+//!     FrameRecord::new(1, ModelId::YoloV7Tiny, AcceleratorId::Dla0, 0.55, 0.03, 0.2, true),
+//! ];
+//! let summary = RunSummary::from_records("demo", &records);
+//! assert_eq!(summary.frames, 2);
+//! assert!(summary.success_rate > 0.99);
+//! ```
+
+pub mod curve;
+pub mod export;
+pub mod record;
+pub mod report;
+pub mod stats;
+pub mod summary;
+pub mod timeline;
+
+pub use curve::{
+    accuracy_energy_frontier, average_success, run_efficiency, success_curve, FrontierPoint,
+    ThresholdPoint,
+};
+pub use export::{records_to_csv, records_to_json, series_to_csv, summaries_to_csv, summaries_to_json};
+pub use record::FrameRecord;
+pub use report::Table;
+pub use stats::{mean, pearson_correlation, percentile, std_dev};
+pub use summary::RunSummary;
+pub use timeline::Timeline;

@@ -1,0 +1,102 @@
+//! The per-frame record emitted by every runtime.
+
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+
+/// One frame's worth of evaluation data, independent of which runtime
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameRecord {
+    /// Frame index within the scenario.
+    pub frame_index: usize,
+    /// Model that executed the frame.
+    pub model: ModelId,
+    /// Accelerator it executed on.
+    pub accelerator: AcceleratorId,
+    /// IoU of the reported detection against ground truth.
+    pub iou: f64,
+    /// End-to-end latency charged to the frame, seconds.
+    pub latency_s: f64,
+    /// Energy charged to the frame, joules.
+    pub energy_j: f64,
+    /// Whether a model/accelerator swap happened on this frame.
+    pub swapped: bool,
+}
+
+impl FrameRecord {
+    /// Creates a record, clamping the IoU into `[0, 1]`.
+    pub fn new(
+        frame_index: usize,
+        model: ModelId,
+        accelerator: AcceleratorId,
+        iou: f64,
+        latency_s: f64,
+        energy_j: f64,
+        swapped: bool,
+    ) -> Self {
+        Self {
+            frame_index,
+            model,
+            accelerator,
+            iou: iou.clamp(0.0, 1.0),
+            latency_s: latency_s.max(0.0),
+            energy_j: energy_j.max(0.0),
+            swapped,
+        }
+    }
+
+    /// Whether the frame counts as a success at the paper's 0.5 IoU
+    /// threshold.
+    pub fn is_success(&self) -> bool {
+        self.iou >= 0.5
+    }
+
+    /// Whether the frame executed off the GPU.
+    pub fn is_non_gpu(&self) -> bool {
+        !self.accelerator.is_gpu()
+    }
+
+    /// Detection efficiency of this frame: IoU per joule (the metric behind
+    /// the paper's Fig. 2). Returns `0.0` when no energy was charged.
+    pub fn efficiency(&self) -> f64 {
+        if self.energy_j <= 0.0 {
+            0.0
+        } else {
+            self.iou / self.energy_j
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_and_flags() {
+        let r = FrameRecord::new(3, ModelId::YoloV7, AcceleratorId::Dla0, 1.5, -1.0, -2.0, true);
+        assert_eq!(r.iou, 1.0);
+        assert_eq!(r.latency_s, 0.0);
+        assert_eq!(r.energy_j, 0.0);
+        assert!(r.is_success());
+        assert!(r.is_non_gpu());
+        assert!(r.swapped);
+    }
+
+    #[test]
+    fn success_threshold_is_half() {
+        let hit = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.5, 0.1, 1.0, false);
+        let miss = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.49, 0.1, 1.0, false);
+        assert!(hit.is_success());
+        assert!(!miss.is_success());
+        assert!(!hit.is_non_gpu());
+    }
+
+    #[test]
+    fn efficiency_is_iou_per_joule() {
+        let r = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.6, 0.1, 2.0, false);
+        assert!((r.efficiency() - 0.3).abs() < 1e-12);
+        let zero = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.6, 0.1, 0.0, false);
+        assert_eq!(zero.efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text / markdown table rendering for the reproduction harness.
+
+use crate::summary::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table that can render itself as markdown (used by
+/// the `repro` binary and EXPERIMENTS.md) or as aligned plain text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match header count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row built from anything displayable.
+    pub fn push_display_row<T: std::fmt::Display>(&mut self, row: &[T]) {
+        self.push_row(row.iter().map(|v| v.to_string()).collect());
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{}\n", render_row(&self.headers)));
+        out.push_str(&format!(
+            "{}\n",
+            widths
+                .iter()
+                .map(|w| format!("{:-<width$}", "", width = w + 2))
+                .collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("{}\n", render_row(row)));
+        }
+        out
+    }
+
+    /// Builds the paper's Table III layout from a list of run summaries.
+    pub fn from_summaries(title: impl Into<String>, summaries: &[RunSummary]) -> Self {
+        let mut table = Table::new(
+            title,
+            &[
+                "Methodology",
+                "IoU",
+                "Time (s)",
+                "Energy (J)",
+                "Success Rate",
+                "Non-GPU",
+                "Model Swaps",
+                "Pairs Used",
+            ],
+        );
+        for s in summaries {
+            table.push_row(vec![
+                s.label.clone(),
+                format!("{:.3}", s.mean_iou),
+                format!("{:.3}", s.mean_latency_s),
+                format!("{:.3}", s.mean_energy_j),
+                format!("{:.1}%", s.success_rate * 100.0),
+                format!("{:.1}%", s.non_gpu_fraction * 100.0),
+                format!("{}", s.model_swaps),
+                format!("{}", s.pairs_used),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FrameRecord;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.column_count(), 2);
+    }
+
+    #[test]
+    fn text_rendering_is_aligned() {
+        let mut t = Table::new("Demo", &["name", "v"]);
+        t.push_display_row(&["shift", "1"]);
+        t.push_display_row(&["a-much-longer-name", "2"]);
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn from_summaries_builds_table_iii_columns() {
+        let records = vec![FrameRecord::new(
+            0,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            0.7,
+            0.1,
+            1.5,
+            false,
+        )];
+        let summary = RunSummary::from_records("SHIFT", &records);
+        let table = Table::from_summaries("Table III", &[summary]);
+        assert_eq!(table.column_count(), 8);
+        assert_eq!(table.row_count(), 1);
+        assert!(table.to_markdown().contains("SHIFT"));
+        assert!(table.title().contains("Table III"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Small statistics helpers used by the sensitivity analysis (Fig. 5) and
+//! the report tables.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; `0.0` for slices with fewer than two
+/// elements.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Linear-interpolation percentile (`p` in `[0, 100]`); `0.0` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `p` is not finite.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(p.is_finite(), "percentile must be finite");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not contain NaN"));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = p * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let fraction = rank - low as f64;
+        sorted[low] * (1.0 - fraction) + sorted[high] * fraction
+    }
+}
+
+/// Pearson correlation coefficient between two equally long series.
+///
+/// Returns `0.0` when either series is constant or the series are shorter
+/// than two elements — the sensitivity analysis treats "no measurable
+/// correlation" and "undefined correlation" the same way.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx).powi(2);
+        dy += (y - my).powi(2);
+    }
+    if dx <= f64::EPSILON || dy <= f64::EPSILON {
+        return 0.0;
+    }
+    (num / (dx.sqrt() * dy.sqrt())).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 0.0), 1.0);
+        assert_eq!(percentile(&values, 100.0), 4.0);
+        assert!((percentile(&values, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let values = [1.0, 2.0];
+        assert_eq!(percentile(&values, -10.0), 1.0);
+        assert_eq!(percentile(&values, 500.0), 2.0);
+    }
+
+    #[test]
+    fn correlation_of_linear_series_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|v| -v).collect();
+        assert!((pearson_correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_series_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [2.0, 3.0, 4.0];
+        assert_eq!(pearson_correlation(&xs, &ys), 0.0);
+        assert_eq!(pearson_correlation(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn correlation_length_mismatch_panics() {
+        let _ = pearson_correlation(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Run summaries: the aggregate columns of the paper's Table III.
+
+use crate::record::FrameRecord;
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use std::collections::BTreeSet;
+
+/// Aggregated statistics of one complete run (one methodology on one or more
+/// scenarios), matching the columns of Table III of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Label of the methodology (e.g. `"SHIFT"`, `"Marlin"`, `"Oracle E"`).
+    pub label: String,
+    /// Number of frames aggregated.
+    pub frames: usize,
+    /// Mean IoU across all frames.
+    pub mean_iou: f64,
+    /// Mean end-to-end latency per frame, seconds ("Time (s)").
+    pub mean_latency_s: f64,
+    /// Mean energy per frame, joules ("Energy (J)").
+    pub mean_energy_j: f64,
+    /// Fraction of frames with IoU >= 0.5 ("Success Rate").
+    pub success_rate: f64,
+    /// Fraction of frames executed off the GPU ("Non-GPU").
+    pub non_gpu_fraction: f64,
+    /// Total number of model/accelerator swaps ("Model Swaps").
+    pub model_swaps: u64,
+    /// Number of distinct (model, accelerator) pairs used ("Pairs Used").
+    pub pairs_used: usize,
+    /// Total energy over the run, joules.
+    pub total_energy_j: f64,
+    /// Total latency over the run, seconds.
+    pub total_latency_s: f64,
+}
+
+impl RunSummary {
+    /// Aggregates a run from its per-frame records.
+    ///
+    /// An empty record slice produces an all-zero summary (frames = 0), which
+    /// keeps downstream table code simple.
+    pub fn from_records(label: impl Into<String>, records: &[FrameRecord]) -> Self {
+        let label = label.into();
+        if records.is_empty() {
+            return Self {
+                label,
+                frames: 0,
+                mean_iou: 0.0,
+                mean_latency_s: 0.0,
+                mean_energy_j: 0.0,
+                success_rate: 0.0,
+                non_gpu_fraction: 0.0,
+                model_swaps: 0,
+                pairs_used: 0,
+                total_energy_j: 0.0,
+                total_latency_s: 0.0,
+            };
+        }
+        let n = records.len() as f64;
+        let total_energy: f64 = records.iter().map(|r| r.energy_j).sum();
+        let total_latency: f64 = records.iter().map(|r| r.latency_s).sum();
+        let pairs: BTreeSet<(ModelId, AcceleratorId)> = records
+            .iter()
+            .map(|r| (r.model, r.accelerator))
+            .collect();
+        Self {
+            label,
+            frames: records.len(),
+            mean_iou: records.iter().map(|r| r.iou).sum::<f64>() / n,
+            mean_latency_s: total_latency / n,
+            mean_energy_j: total_energy / n,
+            success_rate: records.iter().filter(|r| r.is_success()).count() as f64 / n,
+            non_gpu_fraction: records.iter().filter(|r| r.is_non_gpu()).count() as f64 / n,
+            model_swaps: records.iter().filter(|r| r.swapped).count() as u64,
+            pairs_used: pairs.len(),
+            total_energy_j: total_energy,
+            total_latency_s: total_latency,
+        }
+    }
+
+    /// Combines per-scenario summaries into one averaged summary, weighting
+    /// each scenario equally (the paper reports per-scenario averages
+    /// averaged over the six videos). Swap counts are averaged, pairs are
+    /// averaged (they can therefore be fractional in the table, as in the
+    /// paper's "4.3 pairs used").
+    pub fn average(label: impl Into<String>, summaries: &[RunSummary]) -> Self {
+        let label = label.into();
+        if summaries.is_empty() {
+            return RunSummary::from_records(label, &[]);
+        }
+        let n = summaries.len() as f64;
+        Self {
+            label,
+            frames: summaries.iter().map(|s| s.frames).sum(),
+            mean_iou: summaries.iter().map(|s| s.mean_iou).sum::<f64>() / n,
+            mean_latency_s: summaries.iter().map(|s| s.mean_latency_s).sum::<f64>() / n,
+            mean_energy_j: summaries.iter().map(|s| s.mean_energy_j).sum::<f64>() / n,
+            success_rate: summaries.iter().map(|s| s.success_rate).sum::<f64>() / n,
+            non_gpu_fraction: summaries.iter().map(|s| s.non_gpu_fraction).sum::<f64>() / n,
+            model_swaps: (summaries.iter().map(|s| s.model_swaps).sum::<u64>() as f64 / n).round()
+                as u64,
+            pairs_used: (summaries.iter().map(|s| s.pairs_used).sum::<usize>() as f64 / n).round()
+                as usize,
+            total_energy_j: summaries.iter().map(|s| s.total_energy_j).sum(),
+            total_latency_s: summaries.iter().map(|s| s.total_latency_s).sum(),
+        }
+    }
+
+    /// Average pairs used across scenarios as a floating-point value
+    /// (Table III reports e.g. "4.3").
+    pub fn mean_pairs_used(summaries: &[RunSummary]) -> f64 {
+        if summaries.is_empty() {
+            return 0.0;
+        }
+        summaries.iter().map(|s| s.pairs_used as f64).sum::<f64>() / summaries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        iou: f64,
+        accelerator: AcceleratorId,
+        model: ModelId,
+        swapped: bool,
+    ) -> FrameRecord {
+        FrameRecord::new(0, model, accelerator, iou, 0.1, 1.0, swapped)
+    }
+
+    #[test]
+    fn summary_of_empty_run_is_zeroed() {
+        let s = RunSummary::from_records("empty", &[]);
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.mean_iou, 0.0);
+        assert_eq!(s.pairs_used, 0);
+    }
+
+    #[test]
+    fn summary_counts_pairs_swaps_and_non_gpu() {
+        let records = vec![
+            record(0.7, AcceleratorId::Gpu, ModelId::YoloV7, false),
+            record(0.6, AcceleratorId::Dla0, ModelId::YoloV7, true),
+            record(0.4, AcceleratorId::Dla0, ModelId::YoloV7Tiny, true),
+            record(0.3, AcceleratorId::OakD, ModelId::YoloV7Tiny, true),
+        ];
+        let s = RunSummary::from_records("test", &records);
+        assert_eq!(s.frames, 4);
+        assert_eq!(s.pairs_used, 4);
+        assert_eq!(s.model_swaps, 3);
+        assert!((s.non_gpu_fraction - 0.75).abs() < 1e-12);
+        assert!((s.success_rate - 0.5).abs() < 1e-12);
+        assert!((s.mean_iou - 0.5).abs() < 1e-12);
+        assert!((s.total_energy_j - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_weights_scenarios_equally() {
+        let a = RunSummary::from_records(
+            "a",
+            &[record(1.0, AcceleratorId::Gpu, ModelId::YoloV7, false)],
+        );
+        let b = RunSummary::from_records(
+            "b",
+            &[
+                record(0.0, AcceleratorId::Dla0, ModelId::YoloV7Tiny, true),
+                record(0.0, AcceleratorId::Dla0, ModelId::YoloV7Tiny, false),
+            ],
+        );
+        let avg = RunSummary::average("avg", &[a, b]);
+        assert_eq!(avg.frames, 3);
+        assert!((avg.mean_iou - 0.5).abs() < 1e-12, "per-scenario weighting");
+        assert!((avg.non_gpu_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(avg.model_swaps, 1); // (0 + 1) / 2 rounded
+    }
+
+    #[test]
+    fn mean_pairs_used_is_fractional() {
+        let a = RunSummary::from_records(
+            "a",
+            &[record(1.0, AcceleratorId::Gpu, ModelId::YoloV7, false)],
+        );
+        let b = RunSummary::from_records(
+            "b",
+            &[
+                record(0.5, AcceleratorId::Dla0, ModelId::YoloV7, false),
+                record(0.5, AcceleratorId::OakD, ModelId::YoloV7Tiny, false),
+            ],
+        );
+        let mean = RunSummary::mean_pairs_used(&[a, b]);
+        assert!((mean - 1.5).abs() < 1e-12);
+        assert_eq!(RunSummary::mean_pairs_used(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_of_empty_list_is_zero() {
+        let avg = RunSummary::average("none", &[]);
+        assert_eq!(avg.frames, 0);
+    }
+}

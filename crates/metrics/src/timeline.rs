@@ -1,0 +1,216 @@
+//! Per-frame timelines and the windowed efficiency series behind the paper's
+//! Figures 2, 3 and 4.
+
+use crate::record::FrameRecord;
+use crate::stats::mean;
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+
+/// A labelled sequence of per-frame records with helpers for the windowed
+/// series plotted in the paper's scenario figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    label: String,
+    records: Vec<FrameRecord>,
+}
+
+impl Timeline {
+    /// Creates a timeline from records (kept in the order given).
+    pub fn new(label: impl Into<String>, records: Vec<FrameRecord>) -> Self {
+        Self {
+            label: label.into(),
+            records,
+        }
+    }
+
+    /// The timeline's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The underlying records.
+    pub fn records(&self) -> &[FrameRecord] {
+        &self.records
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the timeline has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Per-frame detection efficiency (IoU per joule), the series of Fig. 2.
+    pub fn efficiency_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.efficiency()).collect()
+    }
+
+    /// Per-frame IoU series.
+    pub fn iou_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.iou).collect()
+    }
+
+    /// Per-frame energy series, joules.
+    pub fn energy_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.energy_j).collect()
+    }
+
+    /// Smooths an arbitrary per-frame series with a centred moving average of
+    /// `window` frames (the figures in the paper plot smoothed curves).
+    pub fn smoothed(series: &[f64], window: usize) -> Vec<f64> {
+        let window = window.max(1);
+        let half = window / 2;
+        (0..series.len())
+            .map(|i| {
+                let start = i.saturating_sub(half);
+                let end = (i + half + 1).min(series.len());
+                mean(&series[start..end])
+            })
+            .collect()
+    }
+
+    /// The frame indices at which the executing (model, accelerator) pair
+    /// changed — the model-swap markers drawn on Figures 3 and 4.
+    pub fn switch_points(&self) -> Vec<usize> {
+        let mut switches = Vec::new();
+        for pair in self.records.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.model != b.model || a.accelerator != b.accelerator {
+                switches.push(b.frame_index);
+            }
+        }
+        switches
+    }
+
+    /// Buckets the timeline into `buckets` equal segments and returns the
+    /// mean of `f(record)` per segment; used to print compact ASCII versions
+    /// of the figures.
+    pub fn bucketed<F: Fn(&FrameRecord) -> f64>(&self, buckets: usize, f: F) -> Vec<f64> {
+        let buckets = buckets.max(1);
+        if self.records.is_empty() {
+            return vec![0.0; buckets];
+        }
+        let mut sums = vec![0.0; buckets];
+        let mut counts = vec![0usize; buckets];
+        for (i, record) in self.records.iter().enumerate() {
+            let bucket = (i * buckets / self.records.len()).min(buckets - 1);
+            sums[bucket] += f(record);
+            counts[bucket] += 1;
+        }
+        sums.iter()
+            .zip(counts.iter())
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// The dominant (most frequently used) model in the timeline, if any.
+    pub fn dominant_model(&self) -> Option<ModelId> {
+        let mut counts: std::collections::BTreeMap<ModelId, usize> = Default::default();
+        for r in &self.records {
+            *counts.entry(r.model).or_insert(0) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(m, _)| m)
+    }
+
+    /// Fraction of frames spent on each accelerator.
+    pub fn accelerator_shares(&self) -> Vec<(AcceleratorId, f64)> {
+        let mut counts: std::collections::BTreeMap<AcceleratorId, usize> = Default::default();
+        for r in &self.records {
+            *counts.entry(r.accelerator).or_insert(0) += 1;
+        }
+        let n = self.records.len().max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(a, c)| (a, c as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: usize, model: ModelId, acc: AcceleratorId, iou: f64, energy: f64) -> FrameRecord {
+        FrameRecord::new(i, model, acc, iou, 0.1, energy, false)
+    }
+
+    fn sample_timeline() -> Timeline {
+        Timeline::new(
+            "test",
+            vec![
+                record(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.8, 2.0),
+                record(1, ModelId::YoloV7, AcceleratorId::Gpu, 0.6, 2.0),
+                record(2, ModelId::YoloV7Tiny, AcceleratorId::Dla0, 0.5, 0.2),
+                record(3, ModelId::YoloV7Tiny, AcceleratorId::Dla0, 0.4, 0.2),
+            ],
+        )
+    }
+
+    #[test]
+    fn series_lengths_match() {
+        let t = sample_timeline();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.efficiency_series().len(), 4);
+        assert_eq!(t.iou_series(), vec![0.8, 0.6, 0.5, 0.4]);
+        assert_eq!(t.energy_series()[2], 0.2);
+        assert_eq!(t.label(), "test");
+    }
+
+    #[test]
+    fn switch_points_mark_pair_changes() {
+        let t = sample_timeline();
+        assert_eq!(t.switch_points(), vec![2]);
+    }
+
+    #[test]
+    fn smoothing_preserves_constant_series() {
+        let series = vec![0.5; 10];
+        let smooth = Timeline::smoothed(&series, 4);
+        assert_eq!(smooth.len(), 10);
+        for v in smooth {
+            assert!((v - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_variance() {
+        let series: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let smooth = Timeline::smoothed(&series, 8);
+        let raw_var = crate::stats::std_dev(&series);
+        let smooth_var = crate::stats::std_dev(&smooth);
+        assert!(smooth_var < raw_var);
+    }
+
+    #[test]
+    fn bucketed_averages() {
+        let t = sample_timeline();
+        let buckets = t.bucketed(2, |r| r.iou);
+        assert_eq!(buckets.len(), 2);
+        assert!((buckets[0] - 0.7).abs() < 1e-12);
+        assert!((buckets[1] - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucketed_empty_timeline() {
+        let t = Timeline::new("empty", vec![]);
+        assert_eq!(t.bucketed(3, |r| r.iou), vec![0.0, 0.0, 0.0]);
+        assert!(t.dominant_model().is_none());
+    }
+
+    #[test]
+    fn dominant_model_and_shares() {
+        let t = sample_timeline();
+        // Tie between YoloV7 and Tiny (2 frames each); max_by_key returns the
+        // last maximum in iteration order, which is deterministic (BTreeMap).
+        assert!(t.dominant_model().is_some());
+        let shares = t.accelerator_shares();
+        assert_eq!(shares.len(), 2);
+        let total: f64 = shares.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Confidence-score calibration profiles.
+//!
+//! The paper observes that confidence scores "can be influenced by
+//! over-fitting and sometimes they are over-confident; therefore, they are
+//! not consistent across different ODM architectures", while "versions of
+//! the same ODM produce similar scores". We model this with a per-family
+//! calibration curve: the raw detection quality (the IoU the model is about
+//! to achieve) is warped into a reported confidence score with a
+//! family-specific bias, compression and noise level. The confidence graph's
+//! job is to undo exactly this inconsistency.
+
+use crate::family::ModelFamily;
+use serde::{Deserialize, Serialize};
+
+/// How a model family converts true detection quality into a reported
+/// confidence score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationProfile {
+    /// Fraction of the gap to 1.0 added to the score (over-confidence).
+    pub overconfidence: f64,
+    /// Exponent applied to the quality before biasing; values below 1 stretch
+    /// mid-range scores upwards, above 1 compress them.
+    pub gamma: f64,
+    /// Standard deviation of the per-detection confidence noise.
+    pub noise_sigma: f64,
+    /// Confidence floor reported even for missed detections.
+    pub floor: f64,
+}
+
+impl CalibrationProfile {
+    /// The calibration used by a model family.
+    ///
+    /// YoloV7 models are noticeably over-confident (trained with strong
+    /// augmentation on a single class); SSD models under-report mid-range
+    /// quality but have noisier scores.
+    pub fn for_family(family: ModelFamily) -> Self {
+        match family {
+            ModelFamily::YoloV7 => Self {
+                overconfidence: 0.30,
+                gamma: 0.85,
+                noise_sigma: 0.045,
+                floor: 0.05,
+            },
+            ModelFamily::Ssd => Self {
+                overconfidence: 0.10,
+                gamma: 1.20,
+                noise_sigma: 0.075,
+                floor: 0.04,
+            },
+        }
+    }
+
+    /// Maps true detection quality (expected IoU, in `[0, 1]`) to the mean
+    /// reported confidence, before noise.
+    pub fn mean_confidence(&self, quality: f64) -> f64 {
+        let q = quality.clamp(0.0, 1.0).powf(self.gamma);
+        (q + self.overconfidence * (1.0 - q)).clamp(self.floor, 0.995)
+    }
+
+    /// Applies noise (a value in `[-1, 1]`, typically a standard normal
+    /// sample scaled by the caller) to the mean confidence for `quality`.
+    pub fn noisy_confidence(&self, quality: f64, unit_noise: f64) -> f64 {
+        (self.mean_confidence(quality) + unit_noise * self.noise_sigma).clamp(self.floor, 0.995)
+    }
+
+    /// Approximate inverse of [`mean_confidence`](Self::mean_confidence):
+    /// recovers the quality that would produce the given mean confidence.
+    /// Used only by tests and ablations (the SHIFT runtime learns this
+    /// mapping empirically via the confidence graph).
+    pub fn invert(&self, confidence: f64) -> f64 {
+        let c = confidence.clamp(self.floor, 0.995);
+        let q_pow = ((c - self.overconfidence) / (1.0 - self.overconfidence)).clamp(0.0, 1.0);
+        q_pow.powf(1.0 / self.gamma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_confidence_is_monotone_in_quality() {
+        for family in [ModelFamily::YoloV7, ModelFamily::Ssd] {
+            let cal = CalibrationProfile::for_family(family);
+            let mut previous = -1.0;
+            for i in 0..=20 {
+                let c = cal.mean_confidence(i as f64 / 20.0);
+                assert!(c >= previous, "{family}: confidence must be monotone");
+                previous = c;
+            }
+        }
+    }
+
+    #[test]
+    fn yolo_is_more_overconfident_than_ssd() {
+        let yolo = CalibrationProfile::for_family(ModelFamily::YoloV7);
+        let ssd = CalibrationProfile::for_family(ModelFamily::Ssd);
+        for q in [0.2, 0.4, 0.6, 0.8] {
+            assert!(
+                yolo.mean_confidence(q) > ssd.mean_confidence(q),
+                "yolo should report higher confidence at quality {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_stays_in_bounds() {
+        let cal = CalibrationProfile::for_family(ModelFamily::YoloV7);
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            for noise in [-3.0, 0.0, 3.0] {
+                let c = cal.noisy_confidence(q, noise);
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn invert_roughly_recovers_quality() {
+        for family in [ModelFamily::YoloV7, ModelFamily::Ssd] {
+            let cal = CalibrationProfile::for_family(family);
+            for q in [0.3, 0.5, 0.7, 0.9] {
+                let c = cal.mean_confidence(q);
+                let recovered = cal.invert(c);
+                assert!(
+                    (recovered - q).abs() < 0.05,
+                    "{family}: quality {q} -> conf {c} -> {recovered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floor_applies_to_zero_quality() {
+        let cal = CalibrationProfile::for_family(ModelFamily::Ssd);
+        assert!(cal.mean_confidence(0.0) >= cal.floor);
+    }
+}

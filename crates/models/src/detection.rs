@@ -1,0 +1,74 @@
+//! Detection outputs.
+
+use serde::{Deserialize, Serialize};
+use shift_video::BoundingBox;
+
+/// A single-object detection: the predicted bounding box and the model's
+/// reported confidence score.
+///
+/// The paper's task is single-class, single-object UAV detection, so a frame
+/// produces at most one detection after non-maximum suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted bounding box in frame pixel coordinates.
+    pub bbox: BoundingBox,
+    /// Reported confidence score in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl Detection {
+    /// Creates a detection, clamping the confidence to `[0, 1]`.
+    pub fn new(bbox: BoundingBox, confidence: f64) -> Self {
+        Self {
+            bbox,
+            confidence: confidence.clamp(0.0, 1.0),
+        }
+    }
+
+    /// IoU of the detection against a ground-truth box; `0.0` when the truth
+    /// is absent (a detection on an empty frame is a false positive).
+    pub fn iou_against(&self, truth: Option<&BoundingBox>) -> f64 {
+        truth.map_or(0.0, |t| self.bbox.iou(t))
+    }
+
+    /// Whether this detection counts as a success at the paper's
+    /// `IoU >= 0.5` threshold.
+    pub fn is_success(&self, truth: Option<&BoundingBox>) -> bool {
+        self.iou_against(truth) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confidence_is_clamped() {
+        let d = Detection::new(BoundingBox::new(0.0, 0.0, 4.0, 4.0), 1.7);
+        assert_eq!(d.confidence, 1.0);
+        let d = Detection::new(BoundingBox::new(0.0, 0.0, 4.0, 4.0), -0.5);
+        assert_eq!(d.confidence, 0.0);
+    }
+
+    #[test]
+    fn iou_against_missing_truth_is_zero() {
+        let d = Detection::new(BoundingBox::new(0.0, 0.0, 4.0, 4.0), 0.9);
+        assert_eq!(d.iou_against(None), 0.0);
+        assert!(!d.is_success(None));
+    }
+
+    #[test]
+    fn perfect_detection_is_success() {
+        let truth = BoundingBox::new(2.0, 2.0, 8.0, 8.0);
+        let d = Detection::new(truth, 0.8);
+        assert!(d.is_success(Some(&truth)));
+        assert!((d.iou_against(Some(&truth)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poor_overlap_is_not_success() {
+        let truth = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let d = Detection::new(BoundingBox::new(8.0, 8.0, 10.0, 10.0), 0.9);
+        assert!(!d.is_success(Some(&truth)));
+    }
+}

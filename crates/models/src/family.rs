@@ -1,0 +1,198 @@
+//! Model identifiers, families and execution targets.
+
+use serde::{Deserialize, Serialize};
+
+/// The architectural family of an object-detection model.
+///
+/// Confidence-score behaviour is consistent *within* a family but not across
+/// families (the paper's motivation for the confidence graph), so the family
+/// drives the calibration profile in [`crate::calibration`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// YOLOv7 anchor-based detectors (trained with the authors' pipeline).
+    YoloV7,
+    /// Single-shot detectors trained with the TensorFlow OD API.
+    Ssd,
+}
+
+impl std::fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelFamily::YoloV7 => write!(f, "YoloV7"),
+            ModelFamily::Ssd => write!(f, "SSD"),
+        }
+    }
+}
+
+/// The eight object-detection models characterized in Table IV of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelId {
+    /// YoloV7-E6E: the largest YoloV7 variant evaluated.
+    YoloV7E6E,
+    /// YoloV7-X.
+    YoloV7X,
+    /// The standard YoloV7 model — the paper's single-model reference.
+    YoloV7,
+    /// YoloV7-Tiny.
+    YoloV7Tiny,
+    /// SSD with a ResNet-50 backbone.
+    SsdResnet50,
+    /// SSD with a MobileNetV1 backbone.
+    SsdMobilenetV1,
+    /// SSD with a MobileNetV2 backbone at 640x640 input.
+    SsdMobilenetV2,
+    /// SSD with a MobileNetV2 backbone at 320x320 input — the cheapest model.
+    SsdMobilenetV2Small,
+}
+
+impl ModelId {
+    /// All models in a stable order (largest YoloV7 first, smallest SSD
+    /// last), matching the row order of Table IV.
+    pub const ALL: [ModelId; 8] = [
+        ModelId::YoloV7E6E,
+        ModelId::YoloV7X,
+        ModelId::YoloV7,
+        ModelId::YoloV7Tiny,
+        ModelId::SsdResnet50,
+        ModelId::SsdMobilenetV1,
+        ModelId::SsdMobilenetV2,
+        ModelId::SsdMobilenetV2Small,
+    ];
+
+    /// The family this model belongs to.
+    pub fn family(&self) -> ModelFamily {
+        match self {
+            ModelId::YoloV7E6E | ModelId::YoloV7X | ModelId::YoloV7 | ModelId::YoloV7Tiny => {
+                ModelFamily::YoloV7
+            }
+            _ => ModelFamily::Ssd,
+        }
+    }
+
+    /// Human-readable name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::YoloV7E6E => "YoloV7-E6E",
+            ModelId::YoloV7X => "YoloV7-X",
+            ModelId::YoloV7 => "YoloV7",
+            ModelId::YoloV7Tiny => "YoloV7-Tiny",
+            ModelId::SsdResnet50 => "SSD Resnet50",
+            ModelId::SsdMobilenetV1 => "SSD MobilenetV1",
+            ModelId::SsdMobilenetV2 => "SSD MobilenetV2",
+            ModelId::SsdMobilenetV2Small => "SSD MobilenetV2 320x320",
+        }
+    }
+
+    /// Parses the paper's table name back into an identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError::UnknownModel`] for unrecognized names.
+    pub fn parse(name: &str) -> Result<ModelId, crate::ModelError> {
+        ModelId::ALL
+            .iter()
+            .copied()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| crate::ModelError::UnknownModel(name.to_string()))
+    }
+
+    /// Stable numeric index of the model within [`ModelId::ALL`].
+    pub fn index(&self) -> usize {
+        ModelId::ALL
+            .iter()
+            .position(|m| m == self)
+            .expect("every model id is in ALL")
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A class of processing element a model can be compiled for.
+///
+/// The SoC simulator maps its concrete accelerator instances (e.g. the two
+/// DLA cores of the Xavier NX) onto these targets when looking up latency and
+/// power reference numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ExecutionTarget {
+    /// The Carmel CPU cluster.
+    Cpu,
+    /// The Volta integrated GPU (TensorRT FP32 in the paper).
+    Gpu,
+    /// An NVDLA deep-learning accelerator core.
+    Dla,
+    /// The Luxonis OAK-D (Movidius RCV2, compiled with OpenVINO).
+    OakD,
+}
+
+impl ExecutionTarget {
+    /// All execution targets.
+    pub const ALL: [ExecutionTarget; 4] = [
+        ExecutionTarget::Cpu,
+        ExecutionTarget::Gpu,
+        ExecutionTarget::Dla,
+        ExecutionTarget::OakD,
+    ];
+}
+
+impl std::fmt::Display for ExecutionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionTarget::Cpu => write!(f, "CPU"),
+            ExecutionTarget::Gpu => write!(f, "GPU"),
+            ExecutionTarget::Dla => write!(f, "DLA"),
+            ExecutionTarget::OakD => write!(f, "OAK-D"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_eight_unique_models() {
+        let mut ids = ModelId::ALL.to_vec();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn families_are_assigned_correctly() {
+        assert_eq!(ModelId::YoloV7.family(), ModelFamily::YoloV7);
+        assert_eq!(ModelId::YoloV7Tiny.family(), ModelFamily::YoloV7);
+        assert_eq!(ModelId::SsdMobilenetV2Small.family(), ModelFamily::Ssd);
+        let yolo = ModelId::ALL
+            .iter()
+            .filter(|m| m.family() == ModelFamily::YoloV7)
+            .count();
+        assert_eq!(yolo, 4);
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for id in ModelId::ALL {
+            assert_eq!(ModelId::parse(id.name()).unwrap(), id);
+        }
+        assert!(ModelId::parse("nonexistent-model").is_err());
+    }
+
+    #[test]
+    fn index_matches_position() {
+        for (i, id) in ModelId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper_rows() {
+        assert_eq!(ModelId::YoloV7.to_string(), "YoloV7");
+        assert_eq!(ModelId::SsdMobilenetV2Small.to_string(), "SSD MobilenetV2 320x320");
+        assert_eq!(ExecutionTarget::OakD.to_string(), "OAK-D");
+        assert_eq!(ModelFamily::Ssd.to_string(), "SSD");
+    }
+}

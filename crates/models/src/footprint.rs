@@ -1,0 +1,107 @@
+//! Model memory footprints and load-cost model.
+//!
+//! The paper's dynamic model loader accounts for "the memory footprint, time
+//! to load the model, and energy draw during this time" of every model swap.
+//! This module derives those costs from the model's weight size: load time is
+//! a fixed engine-initialization overhead plus a bandwidth-limited transfer,
+//! and load energy is the load time multiplied by the platform's load-time
+//! power draw.
+
+use crate::family::ExecutionTarget;
+use serde::{Deserialize, Serialize};
+
+/// Effective weight-transfer bandwidth during model loading, MB/s. Loading a
+/// TensorRT engine on the Xavier NX is dominated by deserialization rather
+/// than raw copy, so the effective bandwidth is far below DRAM bandwidth.
+pub const LOAD_BANDWIDTH_MBPS: f64 = 400.0;
+
+/// Fixed per-load engine/initialization overhead in seconds.
+pub const LOAD_OVERHEAD_S: f64 = 0.35;
+
+/// Extra per-load overhead for the OAK-D, whose models must be shipped over
+/// USB before execution.
+pub const OAK_EXTRA_OVERHEAD_S: f64 = 0.9;
+
+/// Average platform power draw while loading a model, in watts.
+pub const LOAD_POWER_W: f64 = 6.5;
+
+/// Memory footprint and load-cost description of one model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// Resident memory required to keep the model loaded, in MB.
+    pub memory_mb: f64,
+    /// Average power drawn by the platform while loading, in watts.
+    pub load_power_w: f64,
+}
+
+impl LoadProfile {
+    /// Builds a load profile from the model's weight size in MB.
+    pub fn from_memory(memory_mb: f64) -> Self {
+        Self {
+            memory_mb: memory_mb.max(0.0),
+            load_power_w: LOAD_POWER_W,
+        }
+    }
+
+    /// Time to load the model onto `target`, in seconds.
+    pub fn load_time_s(&self, target: ExecutionTarget) -> f64 {
+        let base = LOAD_OVERHEAD_S + self.memory_mb / LOAD_BANDWIDTH_MBPS;
+        match target {
+            ExecutionTarget::OakD => base + OAK_EXTRA_OVERHEAD_S,
+            _ => base,
+        }
+    }
+
+    /// Energy consumed while loading the model onto `target`, in joules.
+    pub fn load_energy_j(&self, target: ExecutionTarget) -> f64 {
+        self.load_time_s(target) * self.load_power_w
+    }
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        Self::from_memory(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_models_take_longer_to_load() {
+        let small = LoadProfile::from_memory(60.0);
+        let large = LoadProfile::from_memory(620.0);
+        assert!(
+            large.load_time_s(ExecutionTarget::Gpu) > small.load_time_s(ExecutionTarget::Gpu)
+        );
+        assert!(
+            large.load_energy_j(ExecutionTarget::Gpu) > small.load_energy_j(ExecutionTarget::Gpu)
+        );
+    }
+
+    #[test]
+    fn oak_loads_are_slower_than_gpu_loads() {
+        let p = LoadProfile::from_memory(280.0);
+        assert!(p.load_time_s(ExecutionTarget::OakD) > p.load_time_s(ExecutionTarget::Gpu));
+    }
+
+    #[test]
+    fn load_time_includes_fixed_overhead() {
+        let p = LoadProfile::from_memory(0.0);
+        assert!(p.load_time_s(ExecutionTarget::Gpu) >= LOAD_OVERHEAD_S);
+    }
+
+    #[test]
+    fn negative_memory_is_clamped() {
+        let p = LoadProfile::from_memory(-50.0);
+        assert_eq!(p.memory_mb, 0.0);
+    }
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let p = LoadProfile::from_memory(200.0);
+        let t = p.load_time_s(ExecutionTarget::Dla);
+        assert!((p.load_energy_j(ExecutionTarget::Dla) - t * LOAD_POWER_W).abs() < 1e-12);
+    }
+}

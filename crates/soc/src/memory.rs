@@ -1,0 +1,164 @@
+//! Per-accelerator memory pools.
+//!
+//! The dynamic model loader needs a concrete memory constraint to manage:
+//! "Not all models considered by the system can be simultaneously loaded into
+//! memory due to limitations in available resources." Each accelerator owns a
+//! [`MemoryPool`] tracking which models are resident and how much of the pool
+//! they occupy.
+
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use std::collections::BTreeMap;
+
+/// A fixed-capacity memory pool holding loaded model weights.
+///
+/// ```
+/// use shift_soc::MemoryPool;
+/// use shift_models::ModelId;
+///
+/// let mut pool = MemoryPool::new(500.0);
+/// assert!(pool.try_allocate(ModelId::YoloV7, 280.0));
+/// assert!(!pool.try_allocate(ModelId::YoloV7X, 480.0), "would overflow");
+/// assert_eq!(pool.resident_models().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryPool {
+    capacity_mb: f64,
+    allocations: BTreeMap<ModelId, f64>,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given capacity in MB.
+    pub fn new(capacity_mb: f64) -> Self {
+        Self {
+            capacity_mb: capacity_mb.max(0.0),
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in MB.
+    pub fn capacity_mb(&self) -> f64 {
+        self.capacity_mb
+    }
+
+    /// Memory currently used by resident models, MB.
+    pub fn used_mb(&self) -> f64 {
+        self.allocations.values().sum()
+    }
+
+    /// Memory still available, MB.
+    pub fn free_mb(&self) -> f64 {
+        (self.capacity_mb - self.used_mb()).max(0.0)
+    }
+
+    /// Whether `model` is currently resident.
+    pub fn contains(&self, model: ModelId) -> bool {
+        self.allocations.contains_key(&model)
+    }
+
+    /// Whether an allocation of `size_mb` would fit right now.
+    pub fn fits(&self, size_mb: f64) -> bool {
+        size_mb <= self.free_mb() + 1e-9
+    }
+
+    /// Whether an allocation of `size_mb` could ever fit (i.e. does not
+    /// exceed the total capacity).
+    pub fn can_ever_fit(&self, size_mb: f64) -> bool {
+        size_mb <= self.capacity_mb + 1e-9
+    }
+
+    /// Attempts to allocate `size_mb` for `model`. Returns `false` (and
+    /// changes nothing) when the allocation does not fit or the model is
+    /// already resident.
+    pub fn try_allocate(&mut self, model: ModelId, size_mb: f64) -> bool {
+        if self.contains(model) || !self.fits(size_mb) || size_mb < 0.0 {
+            return false;
+        }
+        self.allocations.insert(model, size_mb);
+        true
+    }
+
+    /// Releases the allocation of `model`, returning the freed size in MB if
+    /// it was resident.
+    pub fn release(&mut self, model: ModelId) -> Option<f64> {
+        self.allocations.remove(&model)
+    }
+
+    /// Models currently resident, in a stable order.
+    pub fn resident_models(&self) -> Vec<ModelId> {
+        self.allocations.keys().copied().collect()
+    }
+
+    /// Number of resident models.
+    pub fn resident_count(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Utilization as a fraction of the capacity (`0.0` for an empty or
+    /// zero-capacity pool).
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_mb <= 0.0 {
+            0.0
+        } else {
+            (self.used_mb() / self.capacity_mb).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let mut pool = MemoryPool::new(1000.0);
+        assert!(pool.try_allocate(ModelId::YoloV7, 280.0));
+        assert!(pool.contains(ModelId::YoloV7));
+        assert_eq!(pool.used_mb(), 280.0);
+        assert_eq!(pool.release(ModelId::YoloV7), Some(280.0));
+        assert_eq!(pool.used_mb(), 0.0);
+        assert_eq!(pool.release(ModelId::YoloV7), None);
+    }
+
+    #[test]
+    fn double_allocation_is_rejected() {
+        let mut pool = MemoryPool::new(1000.0);
+        assert!(pool.try_allocate(ModelId::YoloV7, 280.0));
+        assert!(!pool.try_allocate(ModelId::YoloV7, 280.0));
+        assert_eq!(pool.resident_count(), 1);
+    }
+
+    #[test]
+    fn overflow_is_rejected_and_state_unchanged() {
+        let mut pool = MemoryPool::new(300.0);
+        assert!(pool.try_allocate(ModelId::YoloV7, 280.0));
+        assert!(!pool.try_allocate(ModelId::YoloV7X, 480.0));
+        assert_eq!(pool.resident_models(), vec![ModelId::YoloV7]);
+        assert!(pool.free_mb() < 30.0 + 1e-9);
+    }
+
+    #[test]
+    fn can_ever_fit_vs_fits() {
+        let mut pool = MemoryPool::new(500.0);
+        pool.try_allocate(ModelId::YoloV7, 280.0);
+        assert!(!pool.fits(480.0));
+        assert!(pool.can_ever_fit(480.0));
+        assert!(!pool.can_ever_fit(600.0));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut pool = MemoryPool::new(100.0);
+        assert_eq!(pool.utilization(), 0.0);
+        pool.try_allocate(ModelId::YoloV7Tiny, 60.0);
+        assert!((pool.utilization() - 0.6).abs() < 1e-9);
+        let empty = MemoryPool::new(0.0);
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn negative_sizes_are_rejected() {
+        let mut pool = MemoryPool::new(100.0);
+        assert!(!pool.try_allocate(ModelId::YoloV7Tiny, -5.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Wireless link model for edge-server offloading baselines.
+//!
+//! The paper argues that offloading approaches such as Glimpse rely on a
+//! stable connection to a remote server and pay a latency penalty per frame;
+//! SHIFT deliberately avoids offloading. To compare against that class of
+//! systems on the same substrate, this module models the uplink an offloading
+//! runtime would use: finite bandwidth, a round-trip latency with
+//! deterministic jitter, per-byte radio energy, and optional outage windows
+//! during which the link is unusable.
+//!
+//! Everything is deterministic in the frame index so experiments remain
+//! reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a wireless uplink to an edge server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Sustained uplink throughput, megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Base round-trip time, seconds.
+    pub rtt_s: f64,
+    /// Peak-to-peak deterministic RTT jitter as a fraction of the base RTT.
+    pub jitter_fraction: f64,
+    /// Radio transmit energy per megabyte sent, joules.
+    pub tx_energy_j_per_mb: f64,
+    /// Radio power drawn while waiting for the response, watts.
+    pub idle_wait_power_w: f64,
+    /// Length of the periodic outage cycle in frames (`0` disables outages).
+    pub outage_period_frames: usize,
+    /// Number of frames at the start of each cycle during which the link is
+    /// down.
+    pub outage_len_frames: usize,
+}
+
+impl NetworkLink {
+    /// A good Wi-Fi link: 40 Mbps uplink, 25 ms RTT, no outages.
+    pub fn wifi() -> Self {
+        Self {
+            bandwidth_mbps: 40.0,
+            rtt_s: 0.025,
+            jitter_fraction: 0.3,
+            tx_energy_j_per_mb: 0.12,
+            idle_wait_power_w: 1.1,
+            outage_period_frames: 0,
+            outage_len_frames: 0,
+        }
+    }
+
+    /// A cellular link as seen from a moving vehicle: 8 Mbps uplink, 70 ms
+    /// RTT, and a periodic 40-frame outage every 600 frames (handover /
+    /// coverage gaps).
+    pub fn cellular() -> Self {
+        Self {
+            bandwidth_mbps: 8.0,
+            rtt_s: 0.070,
+            jitter_fraction: 0.6,
+            tx_energy_j_per_mb: 0.45,
+            idle_wait_power_w: 1.6,
+            outage_period_frames: 600,
+            outage_len_frames: 40,
+        }
+    }
+
+    /// A degraded long-range link: 2 Mbps, 140 ms RTT, frequent outages.
+    pub fn degraded() -> Self {
+        Self {
+            bandwidth_mbps: 2.0,
+            rtt_s: 0.140,
+            jitter_fraction: 0.8,
+            tx_energy_j_per_mb: 0.9,
+            idle_wait_power_w: 2.0,
+            outage_period_frames: 200,
+            outage_len_frames: 35,
+        }
+    }
+
+    /// Whether the link is in an outage at `frame_index`.
+    pub fn is_down(&self, frame_index: usize) -> bool {
+        if self.outage_period_frames == 0 || self.outage_len_frames == 0 {
+            return false;
+        }
+        frame_index % self.outage_period_frames < self.outage_len_frames.min(self.outage_period_frames)
+    }
+
+    /// Deterministic RTT for `frame_index`, seconds (base RTT plus bounded
+    /// jitter).
+    pub fn rtt_at(&self, frame_index: usize) -> f64 {
+        let unit = hash_unit(frame_index as u64);
+        self.rtt_s * (1.0 + self.jitter_fraction.max(0.0) * (unit - 0.5))
+    }
+
+    /// Time to push `payload_mb` megabytes up the link, seconds.
+    pub fn transfer_time_s(&self, payload_mb: f64) -> f64 {
+        let mb = payload_mb.max(0.0);
+        if self.bandwidth_mbps <= 0.0 {
+            return f64::INFINITY;
+        }
+        mb * 8.0 / self.bandwidth_mbps
+    }
+
+    /// Simulates one offload round trip of `payload_mb` megabytes at
+    /// `frame_index`, with the server taking `server_time_s` to produce its
+    /// answer. Returns `None` when the link is in an outage.
+    pub fn round_trip(
+        &self,
+        frame_index: usize,
+        payload_mb: f64,
+        server_time_s: f64,
+    ) -> Option<TransferReport> {
+        if self.is_down(frame_index) {
+            return None;
+        }
+        let transfer = self.transfer_time_s(payload_mb);
+        if !transfer.is_finite() {
+            return None;
+        }
+        let rtt = self.rtt_at(frame_index);
+        let wait = rtt + server_time_s.max(0.0);
+        let latency = transfer + wait;
+        let energy =
+            payload_mb.max(0.0) * self.tx_energy_j_per_mb + wait * self.idle_wait_power_w;
+        Some(TransferReport {
+            latency_s: latency,
+            energy_j: energy,
+            transfer_time_s: transfer,
+            rtt_s: rtt,
+        })
+    }
+}
+
+impl Default for NetworkLink {
+    fn default() -> Self {
+        Self::wifi()
+    }
+}
+
+/// Cost of one completed offload round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Total client-observed latency (transfer + RTT + server time), seconds.
+    pub latency_s: f64,
+    /// Radio energy charged to the client, joules.
+    pub energy_j: f64,
+    /// Uplink transfer time alone, seconds.
+    pub transfer_time_s: f64,
+    /// Round-trip time used for this frame, seconds.
+    pub rtt_s: f64,
+}
+
+/// Deterministic hash of `x` mapped to `[0, 1)`.
+fn hash_unit(x: u64) -> f64 {
+    let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % 1_000_000) as f64 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_link_has_no_outages() {
+        let link = NetworkLink::wifi();
+        for i in 0..2000 {
+            assert!(!link.is_down(i));
+        }
+    }
+
+    #[test]
+    fn cellular_link_has_periodic_outages() {
+        let link = NetworkLink::cellular();
+        let down: usize = (0..600).filter(|&i| link.is_down(i)).count();
+        assert_eq!(down, 40);
+        assert!(link.is_down(0));
+        assert!(!link.is_down(50));
+        assert!(link.is_down(600));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_payload() {
+        let link = NetworkLink::wifi();
+        let one = link.transfer_time_s(1.0);
+        let two = link.transfer_time_s(2.0);
+        assert!((two - 2.0 * one).abs() < 1e-12);
+        assert!((one - 0.2).abs() < 1e-12, "1 MB at 40 Mbps = 0.2 s");
+    }
+
+    #[test]
+    fn zero_bandwidth_is_unusable() {
+        let mut link = NetworkLink::wifi();
+        link.bandwidth_mbps = 0.0;
+        assert!(link.transfer_time_s(1.0).is_infinite());
+        assert!(link.round_trip(10, 1.0, 0.02).is_none());
+    }
+
+    #[test]
+    fn rtt_jitter_is_bounded_and_deterministic() {
+        let link = NetworkLink::cellular();
+        for i in 0..500 {
+            let a = link.rtt_at(i);
+            let b = link.rtt_at(i);
+            assert_eq!(a, b);
+            assert!(a >= link.rtt_s * (1.0 - link.jitter_fraction / 2.0) - 1e-12);
+            assert!(a <= link.rtt_s * (1.0 + link.jitter_fraction / 2.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_accounts_transfer_wait_and_energy() {
+        let link = NetworkLink::wifi();
+        let report = link.round_trip(7, 0.5, 0.03).expect("link up");
+        assert!(report.latency_s > report.transfer_time_s);
+        assert!(report.latency_s >= report.rtt_s + 0.03);
+        assert!(report.energy_j > 0.0);
+    }
+
+    #[test]
+    fn outage_returns_none() {
+        let link = NetworkLink::degraded();
+        let down_frame = (0..1000).find(|&i| link.is_down(i)).unwrap();
+        assert!(link.round_trip(down_frame, 0.5, 0.02).is_none());
+    }
+
+    #[test]
+    fn negative_payload_and_server_time_are_clamped() {
+        let link = NetworkLink::wifi();
+        let report = link.round_trip(3, -1.0, -1.0).expect("link up");
+        assert!(report.transfer_time_s.abs() < 1e-12);
+        assert!(report.latency_s >= 0.0);
+        assert!(report.energy_j >= 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Platform description: which accelerators exist, how much model memory
+//! each manages, and the power model.
+
+use crate::accelerator::{AcceleratorId, AcceleratorSpec};
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// A complete simulated compute platform.
+///
+/// The standard configuration mirrors the paper's testbed: an Nvidia Jetson
+/// Xavier NX (CPU + GPU + 2 DLA cores) with a Luxonis OAK-D Lite attached
+/// over USB.
+///
+/// ```
+/// use shift_soc::{Platform, AcceleratorId};
+///
+/// let platform = Platform::xavier_nx_with_oak();
+/// assert_eq!(platform.accelerators().len(), 5);
+/// assert!(platform.accelerator(AcceleratorId::OakD).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    name: String,
+    accelerators: Vec<AcceleratorSpec>,
+    power: PowerModel,
+}
+
+impl Platform {
+    /// Builds a platform from explicit accelerator specs and a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accelerator list is empty or contains duplicates.
+    pub fn new(
+        name: impl Into<String>,
+        accelerators: Vec<AcceleratorSpec>,
+        power: PowerModel,
+    ) -> Self {
+        assert!(
+            !accelerators.is_empty(),
+            "platform needs at least one accelerator"
+        );
+        let mut ids: Vec<_> = accelerators.iter().map(|a| a.id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate accelerator ids");
+        Self {
+            name: name.into(),
+            accelerators,
+            power,
+        }
+    }
+
+    /// The paper's full testbed: Xavier NX (CPU, GPU, DLA0, DLA1) + OAK-D.
+    ///
+    /// Memory budgets: the GPU and DLA engines draw from the shared 8 GB
+    /// LPDDR4; we give the executors a 1.5 GB / 1 GB model budget each so the
+    /// dynamic model loader has a realistic constraint (TensorRT engines,
+    /// activations and the rest of the autonomy stack consume the remainder).
+    /// The OAK-D has 512 MB on-device memory.
+    pub fn xavier_nx_with_oak() -> Self {
+        Self::new(
+            "Xavier NX + OAK-D",
+            vec![
+                AcceleratorSpec::new(AcceleratorId::Cpu, 2048.0, 0.8),
+                AcceleratorSpec::new(AcceleratorId::Gpu, 1536.0, 0.5),
+                AcceleratorSpec::new(AcceleratorId::Dla0, 1024.0, 0.3),
+                AcceleratorSpec::new(AcceleratorId::Dla1, 1024.0, 0.3),
+                AcceleratorSpec::new(AcceleratorId::OakD, 512.0, 0.4),
+            ],
+            PowerModel::xavier_nx(),
+        )
+    }
+
+    /// A GPU-only platform used by single-model baselines and ablations.
+    pub fn gpu_only() -> Self {
+        Self::new(
+            "Xavier NX (GPU only)",
+            vec![AcceleratorSpec::new(AcceleratorId::Gpu, 1536.0, 0.5)],
+            PowerModel::xavier_nx(),
+        )
+    }
+
+    /// A platform without the OAK-D (Xavier NX alone).
+    pub fn xavier_nx() -> Self {
+        Self::new(
+            "Xavier NX",
+            vec![
+                AcceleratorSpec::new(AcceleratorId::Cpu, 2048.0, 0.8),
+                AcceleratorSpec::new(AcceleratorId::Gpu, 1536.0, 0.5),
+                AcceleratorSpec::new(AcceleratorId::Dla0, 1024.0, 0.3),
+                AcceleratorSpec::new(AcceleratorId::Dla1, 1024.0, 0.3),
+            ],
+            PowerModel::xavier_nx(),
+        )
+    }
+
+    /// Platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accelerator specs.
+    pub fn accelerators(&self) -> &[AcceleratorSpec] {
+        &self.accelerators
+    }
+
+    /// Ids of all accelerators, in declaration order.
+    pub fn accelerator_ids(&self) -> Vec<AcceleratorId> {
+        self.accelerators.iter().map(|a| a.id).collect()
+    }
+
+    /// Looks up an accelerator spec by id.
+    pub fn accelerator(&self, id: AcceleratorId) -> Option<&AcceleratorSpec> {
+        self.accelerators.iter().find(|a| a.id == id)
+    }
+
+    /// The platform's power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Whether the platform contains the accelerator.
+    pub fn has(&self, id: AcceleratorId) -> bool {
+        self.accelerator(id).is_some()
+    }
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self::xavier_nx_with_oak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_platform_has_five_accelerators() {
+        let p = Platform::xavier_nx_with_oak();
+        assert_eq!(p.accelerators().len(), 5);
+        assert!(p.has(AcceleratorId::Dla1));
+        assert!(p.has(AcceleratorId::OakD));
+        assert_eq!(p.name(), "Xavier NX + OAK-D");
+    }
+
+    #[test]
+    fn gpu_only_platform() {
+        let p = Platform::gpu_only();
+        assert_eq!(p.accelerator_ids(), vec![AcceleratorId::Gpu]);
+        assert!(!p.has(AcceleratorId::Dla0));
+    }
+
+    #[test]
+    fn xavier_without_oak() {
+        let p = Platform::xavier_nx();
+        assert_eq!(p.accelerators().len(), 4);
+        assert!(!p.has(AcceleratorId::OakD));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_accelerators_panic() {
+        let _ = Platform::new(
+            "bad",
+            vec![
+                AcceleratorSpec::new(AcceleratorId::Gpu, 100.0, 0.5),
+                AcceleratorSpec::new(AcceleratorId::Gpu, 100.0, 0.5),
+            ],
+            PowerModel::xavier_nx(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_platform_panics() {
+        let _ = Platform::new("bad", vec![], PowerModel::xavier_nx());
+    }
+
+    #[test]
+    fn default_is_full_platform() {
+        assert_eq!(Platform::default(), Platform::xavier_nx_with_oak());
+    }
+}

@@ -1,0 +1,163 @@
+//! Power rails and the platform power model.
+//!
+//! The paper characterizes energy by "measuring the time x power draw across
+//! all power rails during execution". The simulator mirrors that structure:
+//! every accelerator charges its activity to a named rail, and a run's energy
+//! is the integral of rail power over the virtual time the run consumed.
+
+use crate::accelerator::AcceleratorId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A measurable power rail of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerRail {
+    /// CPU cluster rail (`VDD_CPU`).
+    Cpu,
+    /// GPU rail (`VDD_GPU`).
+    Gpu,
+    /// DLA / CV cluster rail (`VDD_CV`).
+    Dla,
+    /// SoC / memory rail covering always-on overhead (`VDD_SOC`).
+    Soc,
+    /// External OAK-D device measured at its USB supply.
+    Oak,
+}
+
+impl PowerRail {
+    /// All rails of the platform.
+    pub const ALL: [PowerRail; 5] = [
+        PowerRail::Cpu,
+        PowerRail::Gpu,
+        PowerRail::Dla,
+        PowerRail::Soc,
+        PowerRail::Oak,
+    ];
+
+    /// The rail on which an accelerator's active power is measured.
+    pub fn for_accelerator(accelerator: AcceleratorId) -> PowerRail {
+        match accelerator {
+            AcceleratorId::Cpu => PowerRail::Cpu,
+            AcceleratorId::Gpu => PowerRail::Gpu,
+            AcceleratorId::Dla0 | AcceleratorId::Dla1 => PowerRail::Dla,
+            AcceleratorId::OakD => PowerRail::Oak,
+        }
+    }
+}
+
+impl std::fmt::Display for PowerRail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerRail::Cpu => write!(f, "VDD_CPU"),
+            PowerRail::Gpu => write!(f, "VDD_GPU"),
+            PowerRail::Dla => write!(f, "VDD_CV"),
+            PowerRail::Soc => write!(f, "VDD_SOC"),
+            PowerRail::Oak => write!(f, "OAK_USB"),
+        }
+    }
+}
+
+/// The platform's static power model: idle draw per rail plus a baseline SoC
+/// overhead that is always present while the pipeline is running.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle_power_w: BTreeMap<PowerRail, f64>,
+    /// Always-on platform overhead charged to [`PowerRail::Soc`] for every
+    /// second of virtual time, in watts.
+    baseline_power_w: f64,
+}
+
+impl PowerModel {
+    /// Power model of the Xavier NX (15 W mode) plus OAK-D, with idle draws
+    /// consistent with the per-model power numbers of Table IV (active power
+    /// includes the idle component, so idle values are kept small).
+    pub fn xavier_nx() -> Self {
+        let mut idle = BTreeMap::new();
+        idle.insert(PowerRail::Cpu, 0.8);
+        idle.insert(PowerRail::Gpu, 0.5);
+        idle.insert(PowerRail::Dla, 0.3);
+        idle.insert(PowerRail::Soc, 1.8);
+        idle.insert(PowerRail::Oak, 0.4);
+        Self {
+            idle_power_w: idle,
+            baseline_power_w: 1.8,
+        }
+    }
+
+    /// Creates a power model from explicit idle draws and a baseline.
+    pub fn new(idle_power_w: BTreeMap<PowerRail, f64>, baseline_power_w: f64) -> Self {
+        Self {
+            idle_power_w,
+            baseline_power_w: baseline_power_w.max(0.0),
+        }
+    }
+
+    /// Idle power of a rail in watts.
+    pub fn idle_power(&self, rail: PowerRail) -> f64 {
+        self.idle_power_w.get(&rail).copied().unwrap_or(0.0)
+    }
+
+    /// Always-on baseline power in watts.
+    pub fn baseline_power(&self) -> f64 {
+        self.baseline_power_w
+    }
+
+    /// Baseline energy charged for `elapsed_s` seconds of wall-clock pipeline
+    /// time, in joules.
+    pub fn baseline_energy(&self, elapsed_s: f64) -> f64 {
+        self.baseline_power_w * elapsed_s.max(0.0)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::xavier_nx()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rail_mapping_is_total() {
+        for acc in AcceleratorId::ALL {
+            let rail = PowerRail::for_accelerator(acc);
+            assert!(PowerRail::ALL.contains(&rail));
+        }
+        assert_eq!(
+            PowerRail::for_accelerator(AcceleratorId::Dla0),
+            PowerRail::for_accelerator(AcceleratorId::Dla1)
+        );
+    }
+
+    #[test]
+    fn xavier_model_has_positive_idle_draws() {
+        let model = PowerModel::xavier_nx();
+        for rail in PowerRail::ALL {
+            assert!(model.idle_power(rail) > 0.0, "{rail} idle power missing");
+        }
+        assert!(model.baseline_power() > 0.0);
+    }
+
+    #[test]
+    fn baseline_energy_scales_with_time() {
+        let model = PowerModel::xavier_nx();
+        let e1 = model.baseline_energy(1.0);
+        let e2 = model.baseline_energy(2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+        assert_eq!(model.baseline_energy(-1.0), 0.0);
+    }
+
+    #[test]
+    fn unknown_rail_defaults_to_zero() {
+        let model = PowerModel::new(BTreeMap::new(), 0.0);
+        assert_eq!(model.idle_power(PowerRail::Gpu), 0.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PowerRail::Dla.to_string(), "VDD_CV");
+        assert_eq!(PowerRail::Oak.to_string(), "OAK_USB");
+    }
+}

@@ -1,0 +1,157 @@
+//! Energy / latency telemetry collected while a platform executes.
+
+use crate::accelerator::AcceleratorId;
+use crate::power::PowerRail;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-rail energy totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    totals_j: BTreeMap<PowerRail, f64>,
+}
+
+impl EnergyBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `energy_j` joules to `rail`.
+    pub fn add(&mut self, rail: PowerRail, energy_j: f64) {
+        *self.totals_j.entry(rail).or_insert(0.0) += energy_j.max(0.0);
+    }
+
+    /// Energy accumulated on `rail`, joules.
+    pub fn rail(&self, rail: PowerRail) -> f64 {
+        self.totals_j.get(&rail).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all rails, joules.
+    pub fn total(&self) -> f64 {
+        self.totals_j.values().sum()
+    }
+}
+
+/// Aggregate counters describing everything a platform executed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Virtual seconds spent in inference.
+    pub inference_time_s: f64,
+    /// Virtual seconds spent loading models.
+    pub load_time_s: f64,
+    /// Number of inferences executed.
+    pub inference_count: u64,
+    /// Number of model loads performed.
+    pub load_count: u64,
+    /// Number of model evictions performed.
+    pub eviction_count: u64,
+    /// Per-rail energy totals.
+    pub energy: EnergyBreakdown,
+    /// Inference counts per accelerator.
+    pub per_accelerator: BTreeMap<AcceleratorId, u64>,
+}
+
+impl Telemetry {
+    /// Creates zeroed telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one inference.
+    pub fn record_inference(
+        &mut self,
+        accelerator: AcceleratorId,
+        latency_s: f64,
+        energy_j: f64,
+    ) {
+        self.inference_time_s += latency_s.max(0.0);
+        self.inference_count += 1;
+        self.energy
+            .add(PowerRail::for_accelerator(accelerator), energy_j);
+        *self.per_accelerator.entry(accelerator).or_insert(0) += 1;
+    }
+
+    /// Records one model load.
+    pub fn record_load(&mut self, accelerator: AcceleratorId, time_s: f64, energy_j: f64) {
+        self.load_time_s += time_s.max(0.0);
+        self.load_count += 1;
+        self.energy
+            .add(PowerRail::for_accelerator(accelerator), energy_j);
+    }
+
+    /// Records one eviction.
+    pub fn record_eviction(&mut self) {
+        self.eviction_count += 1;
+    }
+
+    /// Total virtual time (inference + loads), seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.inference_time_s + self.load_time_s
+    }
+
+    /// Total energy across all rails, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Fraction of inferences that executed somewhere other than the GPU.
+    pub fn non_gpu_fraction(&self) -> f64 {
+        if self.inference_count == 0 {
+            return 0.0;
+        }
+        let gpu = self
+            .per_accelerator
+            .get(&AcceleratorId::Gpu)
+            .copied()
+            .unwrap_or(0);
+        1.0 - gpu as f64 / self.inference_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_per_rail() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerRail::Gpu, 1.5);
+        b.add(PowerRail::Gpu, 0.5);
+        b.add(PowerRail::Dla, 1.0);
+        assert_eq!(b.rail(PowerRail::Gpu), 2.0);
+        assert_eq!(b.rail(PowerRail::Cpu), 0.0);
+        assert!((b.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_energy_is_ignored() {
+        let mut b = EnergyBreakdown::new();
+        b.add(PowerRail::Gpu, -5.0);
+        assert_eq!(b.total(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_counts_inferences_and_loads() {
+        let mut t = Telemetry::new();
+        t.record_inference(AcceleratorId::Gpu, 0.1, 2.0);
+        t.record_inference(AcceleratorId::Dla0, 0.2, 1.0);
+        t.record_load(AcceleratorId::Dla0, 1.0, 6.0);
+        t.record_eviction();
+        assert_eq!(t.inference_count, 2);
+        assert_eq!(t.load_count, 1);
+        assert_eq!(t.eviction_count, 1);
+        assert!((t.total_time_s() - 1.3).abs() < 1e-12);
+        assert!((t.total_energy_j() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_gpu_fraction() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.non_gpu_fraction(), 0.0);
+        t.record_inference(AcceleratorId::Gpu, 0.1, 1.0);
+        t.record_inference(AcceleratorId::Dla0, 0.1, 1.0);
+        t.record_inference(AcceleratorId::OakD, 0.1, 1.0);
+        assert!((t.non_gpu_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

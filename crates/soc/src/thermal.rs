@@ -1,0 +1,303 @@
+//! Lumped thermal model with passive throttling.
+//!
+//! Sustained object detection on an embedded SoC is thermally limited: the
+//! Xavier NX shares one heat spreader between the CPU, GPU and DLA clusters,
+//! and prolonged high-power inference forces the firmware to throttle clocks.
+//! The paper's evaluation videos are short enough that throttling plays no
+//! role in its tables, but a runtime that claims energy awareness should
+//! behave sensibly when it does — so the simulator offers an optional
+//! first-order RC thermal model:
+//!
+//! * The die temperature rises towards an equilibrium proportional to the
+//!   dissipated power and decays exponentially towards ambient otherwise.
+//! * Above a soft limit the engine applies a latency throttle factor that
+//!   grows linearly with the excess temperature.
+//! * Above a critical limit the accelerator is reported as thermally tripped;
+//!   the execution engine refuses new work on it until it cools below the
+//!   soft limit again.
+//!
+//! The model is disabled by default so the paper-calibrated latency/energy
+//! numbers are reproduced exactly unless an experiment opts in.
+
+use crate::accelerator::AcceleratorId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of the lumped RC thermal model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Ambient temperature, degrees Celsius.
+    pub ambient_c: f64,
+    /// Thermal resistance, degrees Celsius per watt of sustained power.
+    pub resistance_c_per_w: f64,
+    /// Thermal time constant, seconds.
+    pub time_constant_s: f64,
+    /// Temperature above which latency throttling begins, degrees Celsius.
+    pub throttle_c: f64,
+    /// Temperature at which the accelerator trips offline, degrees Celsius.
+    pub trip_c: f64,
+    /// Additional latency fraction applied per degree above the throttle
+    /// threshold (e.g. `0.02` adds 2% latency per degree).
+    pub throttle_slope_per_c: f64,
+}
+
+impl ThermalConfig {
+    /// Parameters loosely calibrated to a passively cooled Xavier NX module:
+    /// roughly 25 °C ambient, ~3 °C/W steady-state rise, a one-minute time
+    /// constant, throttling from 70 °C and a 95 °C trip point.
+    pub fn xavier_nx() -> Self {
+        Self {
+            ambient_c: 25.0,
+            resistance_c_per_w: 3.0,
+            time_constant_s: 60.0,
+            throttle_c: 70.0,
+            trip_c: 95.0,
+            throttle_slope_per_c: 0.02,
+        }
+    }
+
+    /// An aggressive configuration useful in tests: tiny time constant and
+    /// low thresholds so a handful of inferences already throttle.
+    pub fn stress_test() -> Self {
+        Self {
+            ambient_c: 25.0,
+            resistance_c_per_w: 8.0,
+            time_constant_s: 0.5,
+            throttle_c: 40.0,
+            trip_c: 60.0,
+            throttle_slope_per_c: 0.05,
+        }
+    }
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        Self::xavier_nx()
+    }
+}
+
+/// Thermal state of one accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalState {
+    /// Current modeled die temperature, degrees Celsius.
+    pub temperature_c: f64,
+    /// Whether the accelerator is currently tripped offline.
+    pub tripped: bool,
+}
+
+/// First-order thermal model tracking one temperature per accelerator.
+///
+/// ```
+/// use shift_soc::{ThermalConfig, ThermalModel, AcceleratorId};
+///
+/// let mut model = ThermalModel::new(ThermalConfig::stress_test());
+/// for _ in 0..50 {
+///     model.record_activity(AcceleratorId::Gpu, 15.0, 0.2);
+/// }
+/// assert!(model.temperature(AcceleratorId::Gpu) > 25.0);
+/// assert!(model.throttle_factor(AcceleratorId::Gpu) >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    states: BTreeMap<AcceleratorId, ThermalState>,
+}
+
+impl ThermalModel {
+    /// Creates a thermal model with every accelerator at ambient.
+    pub fn new(config: ThermalConfig) -> Self {
+        Self {
+            config,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> ThermalConfig {
+        self.config
+    }
+
+    fn state_mut(&mut self, accelerator: AcceleratorId) -> &mut ThermalState {
+        let ambient = self.config.ambient_c;
+        self.states.entry(accelerator).or_insert(ThermalState {
+            temperature_c: ambient,
+            tripped: false,
+        })
+    }
+
+    /// Current temperature of `accelerator`, degrees Celsius.
+    pub fn temperature(&self, accelerator: AcceleratorId) -> f64 {
+        self.states
+            .get(&accelerator)
+            .map(|s| s.temperature_c)
+            .unwrap_or(self.config.ambient_c)
+    }
+
+    /// Whether `accelerator` is currently tripped offline.
+    pub fn is_tripped(&self, accelerator: AcceleratorId) -> bool {
+        self.states
+            .get(&accelerator)
+            .map(|s| s.tripped)
+            .unwrap_or(false)
+    }
+
+    /// Latency multiplier currently applied to `accelerator` (`>= 1.0`).
+    pub fn throttle_factor(&self, accelerator: AcceleratorId) -> f64 {
+        let t = self.temperature(accelerator);
+        if t <= self.config.throttle_c {
+            1.0
+        } else {
+            1.0 + (t - self.config.throttle_c) * self.config.throttle_slope_per_c
+        }
+    }
+
+    /// Advances the temperature of `accelerator` after it dissipated
+    /// `power_w` watts for `duration_s` seconds, then re-evaluates the trip
+    /// latch. Returns the updated state.
+    ///
+    /// The temperature relaxes exponentially towards
+    /// `ambient + resistance x power` with the configured time constant; a
+    /// tripped accelerator stays tripped until it cools back below the
+    /// throttle threshold (thermal hysteresis).
+    pub fn record_activity(
+        &mut self,
+        accelerator: AcceleratorId,
+        power_w: f64,
+        duration_s: f64,
+    ) -> ThermalState {
+        let config = self.config;
+        let state = self.state_mut(accelerator);
+        let power = power_w.max(0.0);
+        let duration = duration_s.max(0.0);
+        let equilibrium = config.ambient_c + config.resistance_c_per_w * power;
+        let alpha = 1.0 - (-duration / config.time_constant_s.max(1e-9)).exp();
+        state.temperature_c += alpha * (equilibrium - state.temperature_c);
+        if state.temperature_c >= config.trip_c {
+            state.tripped = true;
+        } else if state.tripped && state.temperature_c < config.throttle_c {
+            state.tripped = false;
+        }
+        *state
+    }
+
+    /// Lets `accelerator` cool passively for `duration_s` seconds of
+    /// inactivity (zero dissipated power).
+    pub fn cool(&mut self, accelerator: AcceleratorId, duration_s: f64) -> ThermalState {
+        self.record_activity(accelerator, 0.0, duration_s)
+    }
+
+    /// Lets every tracked accelerator cool passively for `duration_s`.
+    pub fn cool_all(&mut self, duration_s: f64) {
+        let ids: Vec<_> = self.states.keys().copied().collect();
+        for id in ids {
+            self.cool(id, duration_s);
+        }
+    }
+
+    /// Resets every accelerator back to ambient and clears trip latches.
+    pub fn reset(&mut self) {
+        self.states.clear();
+    }
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        Self::new(ThermalConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient_and_heats_under_load() {
+        let mut m = ThermalModel::new(ThermalConfig::xavier_nx());
+        assert_eq!(m.temperature(AcceleratorId::Gpu), 25.0);
+        m.record_activity(AcceleratorId::Gpu, 15.0, 30.0);
+        let t = m.temperature(AcceleratorId::Gpu);
+        assert!(t > 25.0 && t < 25.0 + 3.0 * 15.0 + 1e-9);
+    }
+
+    #[test]
+    fn approaches_equilibrium_monotonically() {
+        let mut m = ThermalModel::new(ThermalConfig::xavier_nx());
+        let mut last = m.temperature(AcceleratorId::Dla0);
+        for _ in 0..20 {
+            m.record_activity(AcceleratorId::Dla0, 6.0, 10.0);
+            let t = m.temperature(AcceleratorId::Dla0);
+            assert!(t >= last - 1e-12);
+            last = t;
+        }
+        let equilibrium = 25.0 + 3.0 * 6.0;
+        assert!((last - equilibrium).abs() < 1.0);
+    }
+
+    #[test]
+    fn throttle_factor_grows_above_threshold() {
+        let mut m = ThermalModel::new(ThermalConfig::stress_test());
+        assert_eq!(m.throttle_factor(AcceleratorId::Gpu), 1.0);
+        for _ in 0..100 {
+            m.record_activity(AcceleratorId::Gpu, 16.0, 1.0);
+        }
+        assert!(m.temperature(AcceleratorId::Gpu) > 40.0);
+        assert!(m.throttle_factor(AcceleratorId::Gpu) > 1.0);
+    }
+
+    #[test]
+    fn trips_and_recovers_with_hysteresis() {
+        let mut m = ThermalModel::new(ThermalConfig::stress_test());
+        for _ in 0..200 {
+            m.record_activity(AcceleratorId::Gpu, 16.0, 1.0);
+        }
+        assert!(m.is_tripped(AcceleratorId::Gpu));
+        // Cooling a little is not enough: must fall below the throttle
+        // threshold, not just the trip threshold.
+        m.cool(AcceleratorId::Gpu, 0.2);
+        assert!(m.is_tripped(AcceleratorId::Gpu) || m.temperature(AcceleratorId::Gpu) < 40.0);
+        for _ in 0..200 {
+            m.cool(AcceleratorId::Gpu, 1.0);
+        }
+        assert!(!m.is_tripped(AcceleratorId::Gpu));
+        assert!((m.temperature(AcceleratorId::Gpu) - 25.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cooling_never_goes_below_ambient() {
+        let mut m = ThermalModel::new(ThermalConfig::xavier_nx());
+        m.record_activity(AcceleratorId::Cpu, 8.0, 10.0);
+        for _ in 0..100 {
+            m.cool(AcceleratorId::Cpu, 10.0);
+        }
+        assert!(m.temperature(AcceleratorId::Cpu) >= 25.0 - 1e-9);
+    }
+
+    #[test]
+    fn cool_all_touches_every_tracked_accelerator() {
+        let mut m = ThermalModel::new(ThermalConfig::stress_test());
+        m.record_activity(AcceleratorId::Gpu, 16.0, 5.0);
+        m.record_activity(AcceleratorId::Dla0, 6.0, 5.0);
+        let gpu_before = m.temperature(AcceleratorId::Gpu);
+        let dla_before = m.temperature(AcceleratorId::Dla0);
+        m.cool_all(5.0);
+        assert!(m.temperature(AcceleratorId::Gpu) < gpu_before);
+        assert!(m.temperature(AcceleratorId::Dla0) < dla_before);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let mut m = ThermalModel::new(ThermalConfig::xavier_nx());
+        let state = m.record_activity(AcceleratorId::Gpu, -5.0, -1.0);
+        assert_eq!(state.temperature_c, 25.0);
+        assert!(!state.tripped);
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut m = ThermalModel::new(ThermalConfig::stress_test());
+        m.record_activity(AcceleratorId::Gpu, 16.0, 10.0);
+        m.reset();
+        assert_eq!(m.temperature(AcceleratorId::Gpu), 25.0);
+        assert!(!m.is_tripped(AcceleratorId::Gpu));
+    }
+}

@@ -1,0 +1,325 @@
+//! Axis-aligned bounding boxes and intersection-over-union (IoU).
+//!
+//! The paper scores every object-detection model by the IoU between its
+//! predicted box and the labeled ground truth, and uses `IoU >= 0.5` as the
+//! *success* criterion. All geometry here is in continuous pixel coordinates
+//! so that sub-pixel target motion produces smoothly varying IoU values.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in pixel coordinates.
+///
+/// `x`/`y` are the top-left corner; `w`/`h` are the width and height. Boxes
+/// with non-positive width or height are treated as empty.
+///
+/// ```
+/// use shift_video::BoundingBox;
+///
+/// let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+/// let b = BoundingBox::new(5.0, 0.0, 10.0, 10.0);
+/// let iou = a.iou(&b);
+/// assert!((iou - 1.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge in pixels.
+    pub x: f64,
+    /// Top edge in pixels.
+    pub y: f64,
+    /// Width in pixels.
+    pub w: f64,
+    /// Height in pixels.
+    pub h: f64,
+}
+
+impl BoundingBox {
+    /// Creates a new box from its top-left corner and size.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Creates a box centred at `(cx, cy)` with the given width and height.
+    pub fn from_center(cx: f64, cy: f64, w: f64, h: f64) -> Self {
+        Self {
+            x: cx - w / 2.0,
+            y: cy - h / 2.0,
+            w,
+            h,
+        }
+    }
+
+    /// Centre of the box `(cx, cy)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area of the box; zero for empty boxes.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.w * self.h
+        }
+    }
+
+    /// `true` when the box has non-positive width or height.
+    pub fn is_empty(&self) -> bool {
+        self.w <= 0.0 || self.h <= 0.0
+    }
+
+    /// Right edge (`x + w`).
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge (`y + h`).
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Intersection of two boxes, if it is non-empty.
+    pub fn intersection(&self, other: &BoundingBox) -> Option<BoundingBox> {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.right().min(other.right());
+        let y1 = self.bottom().min(other.bottom());
+        if x1 > x0 && y1 > y0 {
+            Some(BoundingBox::new(x0, y0, x1 - x0, y1 - y0))
+        } else {
+            None
+        }
+    }
+
+    /// Area of the intersection of two boxes.
+    pub fn intersection_area(&self, other: &BoundingBox) -> f64 {
+        self.intersection(other).map_or(0.0, |b| b.area())
+    }
+
+    /// Area of the union of two boxes.
+    pub fn union_area(&self, other: &BoundingBox) -> f64 {
+        self.area() + other.area() - self.intersection_area(other)
+    }
+
+    /// Intersection over union. Returns `0.0` when the union is empty.
+    ///
+    /// The result is always within `[0, 1]` and is symmetric in its
+    /// arguments.
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let union = self.union_area(other);
+        if union <= 0.0 {
+            0.0
+        } else {
+            (self.intersection_area(other) / union).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Whether the point `(px, py)` lies inside the box (inclusive of the
+    /// top-left edge, exclusive of the bottom-right edge).
+    pub fn contains_point(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.right() && py >= self.y && py < self.bottom()
+    }
+
+    /// Translates the box by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> BoundingBox {
+        BoundingBox::new(self.x + dx, self.y + dy, self.w, self.h)
+    }
+
+    /// Scales the box around its centre by `factor`.
+    pub fn scaled(&self, factor: f64) -> BoundingBox {
+        let (cx, cy) = self.center();
+        BoundingBox::from_center(cx, cy, self.w * factor, self.h * factor)
+    }
+
+    /// Clamps the box to the image rectangle `[0, width) x [0, height)`.
+    ///
+    /// Returns an empty box (zero width/height) when the box lies entirely
+    /// outside the image.
+    pub fn clamped(&self, width: usize, height: usize) -> BoundingBox {
+        let x0 = self.x.clamp(0.0, width as f64);
+        let y0 = self.y.clamp(0.0, height as f64);
+        let x1 = self.right().clamp(0.0, width as f64);
+        let y1 = self.bottom().clamp(0.0, height as f64);
+        BoundingBox::new(x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0))
+    }
+
+    /// Euclidean distance between the centres of two boxes.
+    pub fn center_distance(&self, other: &BoundingBox) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Constructs a box translated from `self` such that the IoU between the
+    /// result and `self` equals `target_iou` (for pure horizontal/vertical
+    /// translation of an identically sized box).
+    ///
+    /// This is the inverse of the IoU formula for translated equal boxes and
+    /// is used by the detection response model to emit predictions with a
+    /// prescribed overlap against ground truth. `direction` is an angle in
+    /// radians selecting the translation direction.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; `target_iou` is clamped to `[0, 1]`.
+    pub fn with_target_iou(&self, target_iou: f64, direction: f64) -> BoundingBox {
+        let iou = target_iou.clamp(0.0, 1.0);
+        if iou >= 1.0 {
+            return *self;
+        }
+        // For two equal boxes of size (w, h) translated by (k*c*w, k*s*h)
+        // with c = |cos(direction)|, s = |sin(direction)| and overlap fractions
+        // below one on both axes, the IoU is P / (2 - P) where
+        // P = (1 - k*c) * (1 - k*s).  Invert for k given the target IoU.
+        let c = direction.cos().abs();
+        let s = direction.sin().abs();
+        let p = (2.0 * iou / (1.0 + iou)).clamp(0.0, 1.0);
+        let cs = c * s;
+        let k = if cs < 1e-9 {
+            // Shift along a single axis: (1 - k*(c+s)) = P.
+            (1.0 - p) / (c + s).max(1e-9)
+        } else {
+            // Quadratic k^2*cs - k*(c+s) + (1 - P) = 0; take the smaller root
+            // so both overlap fractions stay in [0, 1].
+            let b = c + s;
+            let disc = (b * b - 4.0 * cs * (1.0 - p)).max(0.0);
+            (b - disc.sqrt()) / (2.0 * cs)
+        };
+        let dx = k * c * self.w * direction.cos().signum_or_one();
+        let dy = k * s * self.h * direction.sin().signum_or_one();
+        self.translated(dx, dy)
+    }
+}
+
+impl Default for BoundingBox {
+    fn default() -> Self {
+        BoundingBox::new(0.0, 0.0, 0.0, 0.0)
+    }
+}
+
+/// Extension trait giving `f64::signum` a well-defined value at zero.
+trait SignumOrOne {
+    fn signum_or_one(self) -> f64;
+}
+
+impl SignumOrOne for f64 {
+    fn signum_or_one(self) -> f64 {
+        if self == 0.0 {
+            1.0
+        } else {
+            self.signum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_boxes_have_iou_one() {
+        let b = BoundingBox::new(3.0, 4.0, 10.0, 8.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_boxes_have_iou_zero() {
+        let a = BoundingBox::new(0.0, 0.0, 5.0, 5.0);
+        let b = BoundingBox::new(100.0, 100.0, 5.0, 5.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn half_overlap_iou() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 0.0, 10.0, 10.0);
+        // intersection 50, union 150.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = BoundingBox::new(1.0, 2.0, 7.0, 3.0);
+        let b = BoundingBox::new(4.0, 1.0, 6.0, 9.0);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_box_has_zero_area_and_iou() {
+        let e = BoundingBox::new(0.0, 0.0, 0.0, 10.0);
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn from_center_round_trips() {
+        let b = BoundingBox::from_center(50.0, 40.0, 20.0, 10.0);
+        let (cx, cy) = b.center();
+        assert!((cx - 50.0).abs() < 1e-12);
+        assert!((cy - 40.0).abs() < 1e-12);
+        assert_eq!(b.x, 40.0);
+        assert_eq!(b.y, 35.0);
+    }
+
+    #[test]
+    fn clamped_respects_image_bounds() {
+        let b = BoundingBox::new(-5.0, -5.0, 20.0, 20.0).clamped(10, 10);
+        assert_eq!(b.x, 0.0);
+        assert_eq!(b.y, 0.0);
+        assert_eq!(b.w, 10.0);
+        assert_eq!(b.h, 10.0);
+
+        let outside = BoundingBox::new(100.0, 100.0, 5.0, 5.0).clamped(10, 10);
+        assert!(outside.is_empty());
+    }
+
+    #[test]
+    fn contains_point_edges() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains_point(0.0, 0.0));
+        assert!(b.contains_point(9.99, 9.99));
+        assert!(!b.contains_point(10.0, 5.0));
+        assert!(!b.contains_point(-0.1, 5.0));
+    }
+
+    #[test]
+    fn translated_and_scaled() {
+        let b = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let t = b.translated(5.0, -3.0);
+        assert_eq!(t.x, 5.0);
+        assert_eq!(t.y, -3.0);
+        let s = b.scaled(2.0);
+        assert_eq!(s.w, 20.0);
+        assert_eq!(s.center(), b.center());
+    }
+
+    #[test]
+    fn with_target_iou_hits_requested_overlap() {
+        let truth = BoundingBox::new(20.0, 20.0, 16.0, 12.0);
+        for &target in &[0.9, 0.75, 0.5, 0.3, 0.1] {
+            for &dir in &[0.0f64, 0.7, 1.57, 2.3, 3.9] {
+                let pred = truth.with_target_iou(target, dir);
+                let got = truth.iou(&pred);
+                assert!(
+                    (got - target).abs() < 1e-6,
+                    "target {target} dir {dir} got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_target_iou_one_is_identity() {
+        let truth = BoundingBox::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(truth.with_target_iou(1.0, 0.3), truth);
+    }
+
+    #[test]
+    fn center_distance_matches_euclid() {
+        let a = BoundingBox::from_center(0.0, 0.0, 2.0, 2.0);
+        let b = BoundingBox::from_center(3.0, 4.0, 2.0, 2.0);
+        assert!((a.center_distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

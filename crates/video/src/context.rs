@@ -1,0 +1,202 @@
+//! Frame context: the latent scene properties that determine how hard a
+//! frame is for each object-detection model.
+//!
+//! The paper's central observation is that detection accuracy depends on the
+//! *context* embedded in the input stream — target distance, background
+//! complexity, contrast, motion and occlusion. The synthetic scenarios expose
+//! this context explicitly; the detection response model in `shift-models`
+//! maps it (plus each model's capacity) to an IoU and a confidence score.
+//! SHIFT itself never reads the context directly — it only observes pixels,
+//! confidence scores and NCC values — so exposing it here does not leak
+//! ground truth into the scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// The latent per-frame scene description.
+///
+/// All fields are normalized to `[0, 1]`. Larger `distance`, `clutter`,
+/// `motion` and `occlusion` make detection harder; larger `contrast` and
+/// `lighting` make it easier.
+///
+/// ```
+/// use shift_video::FrameContext;
+///
+/// let easy = FrameContext::easy();
+/// let hard = FrameContext::hard();
+/// assert!(easy.difficulty() < hard.difficulty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameContext {
+    /// Normalized target distance from the camera (0 = close, 1 = far).
+    pub distance: f64,
+    /// Background clutter / texture complexity.
+    pub clutter: f64,
+    /// Target-to-background contrast (1 = strongly contrasted, easy).
+    pub contrast: f64,
+    /// Apparent inter-frame motion of the target.
+    pub motion: f64,
+    /// Fraction of the target occluded.
+    pub occlusion: f64,
+    /// Illumination quality (1 = well lit, easy).
+    pub lighting: f64,
+    /// Whether the target is inside the camera's field of view at all.
+    pub in_view: bool,
+}
+
+impl FrameContext {
+    /// Weight of each factor in the difficulty score. Distance and clutter
+    /// dominate, matching the paper's scenarios where accuracy collapses when
+    /// the drone is far away or crossing a busy background.
+    const W_DISTANCE: f64 = 0.34;
+    const W_CLUTTER: f64 = 0.26;
+    const W_CONTRAST: f64 = 0.16;
+    const W_OCCLUSION: f64 = 0.14;
+    const W_MOTION: f64 = 0.05;
+    const W_LIGHTING: f64 = 0.05;
+
+    /// Creates a context with every field clamped to `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        distance: f64,
+        clutter: f64,
+        contrast: f64,
+        motion: f64,
+        occlusion: f64,
+        lighting: f64,
+        in_view: bool,
+    ) -> Self {
+        Self {
+            distance: distance.clamp(0.0, 1.0),
+            clutter: clutter.clamp(0.0, 1.0),
+            contrast: contrast.clamp(0.0, 1.0),
+            motion: motion.clamp(0.0, 1.0),
+            occlusion: occlusion.clamp(0.0, 1.0),
+            lighting: lighting.clamp(0.0, 1.0),
+            in_view,
+        }
+    }
+
+    /// A canonical easy context: close, contrasted target on a plain
+    /// background.
+    pub fn easy() -> Self {
+        Self::new(0.1, 0.1, 0.9, 0.1, 0.0, 0.9, true)
+    }
+
+    /// A canonical hard context: distant, low-contrast target on a cluttered
+    /// background.
+    pub fn hard() -> Self {
+        Self::new(0.9, 0.9, 0.2, 0.5, 0.3, 0.4, true)
+    }
+
+    /// A context interpolated linearly between [`easy`](Self::easy) and
+    /// [`hard`](Self::hard); `t = 0` is easy, `t = 1` is hard.
+    pub fn graded(t: f64) -> Self {
+        let t = t.clamp(0.0, 1.0);
+        let e = Self::easy();
+        let h = Self::hard();
+        Self::new(
+            e.distance + t * (h.distance - e.distance),
+            e.clutter + t * (h.clutter - e.clutter),
+            e.contrast + t * (h.contrast - e.contrast),
+            e.motion + t * (h.motion - e.motion),
+            e.occlusion + t * (h.occlusion - e.occlusion),
+            e.lighting + t * (h.lighting - e.lighting),
+            true,
+        )
+    }
+
+    /// Aggregate detection difficulty in `[0, 1]`.
+    ///
+    /// Frames where the target is out of view have difficulty `1.0`: no
+    /// model can produce a true positive.
+    pub fn difficulty(&self) -> f64 {
+        if !self.in_view {
+            return 1.0;
+        }
+        let score = Self::W_DISTANCE * self.distance
+            + Self::W_CLUTTER * self.clutter
+            + Self::W_CONTRAST * (1.0 - self.contrast)
+            + Self::W_OCCLUSION * self.occlusion
+            + Self::W_MOTION * self.motion
+            + Self::W_LIGHTING * (1.0 - self.lighting);
+        score.clamp(0.0, 1.0)
+    }
+
+    /// Returns a copy with the occlusion replaced.
+    pub fn with_occlusion(mut self, occlusion: f64) -> Self {
+        self.occlusion = occlusion.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the visibility flag replaced.
+    pub fn with_in_view(mut self, in_view: bool) -> Self {
+        self.in_view = in_view;
+        self
+    }
+}
+
+impl Default for FrameContext {
+    fn default() -> Self {
+        Self::easy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difficulty_bounds() {
+        for t in 0..=20 {
+            let ctx = FrameContext::graded(t as f64 / 20.0);
+            let d = ctx.difficulty();
+            assert!((0.0..=1.0).contains(&d), "difficulty {d} out of bounds");
+        }
+    }
+
+    #[test]
+    fn difficulty_monotone_in_grading() {
+        let mut previous = -1.0;
+        for t in 0..=10 {
+            let d = FrameContext::graded(t as f64 / 10.0).difficulty();
+            assert!(d >= previous, "difficulty must grow with grading");
+            previous = d;
+        }
+    }
+
+    #[test]
+    fn out_of_view_is_maximally_hard() {
+        let ctx = FrameContext::easy().with_in_view(false);
+        assert_eq!(ctx.difficulty(), 1.0);
+    }
+
+    #[test]
+    fn constructor_clamps_inputs() {
+        let ctx = FrameContext::new(2.0, -1.0, 5.0, -0.5, 3.0, -2.0, true);
+        assert_eq!(ctx.distance, 1.0);
+        assert_eq!(ctx.clutter, 0.0);
+        assert_eq!(ctx.contrast, 1.0);
+        assert_eq!(ctx.motion, 0.0);
+        assert_eq!(ctx.occlusion, 1.0);
+        assert_eq!(ctx.lighting, 0.0);
+    }
+
+    #[test]
+    fn distance_matters_more_than_motion() {
+        let near = FrameContext::new(0.0, 0.5, 0.5, 1.0, 0.0, 0.5, true);
+        let far = FrameContext::new(1.0, 0.5, 0.5, 0.0, 0.0, 0.5, true);
+        assert!(far.difficulty() > near.difficulty());
+    }
+
+    #[test]
+    fn occlusion_increases_difficulty() {
+        let base = FrameContext::graded(0.4);
+        let occluded = base.with_occlusion(0.9);
+        assert!(occluded.difficulty() > base.difficulty());
+    }
+
+    #[test]
+    fn default_is_easy() {
+        assert_eq!(FrameContext::default(), FrameContext::easy());
+    }
+}

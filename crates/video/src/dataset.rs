@@ -1,0 +1,225 @@
+//! Characterization / validation datasets.
+//!
+//! SHIFT's offline characterization pass and confidence-graph construction
+//! rely solely on a validation subset of the training data (2,500 images in
+//! the paper). This module generates the synthetic stand-in: a set of frames
+//! whose contexts cover the full difficulty spectrum, produced from short
+//! randomized mini-scenarios so that the validation distribution resembles —
+//! but is not identical to — the evaluation scenarios.
+
+use crate::context::FrameContext;
+use crate::scenario::{BackgroundSegment, Environment, Scenario, Window};
+use crate::stream::Frame;
+use crate::trajectory::{Trajectory, Waypoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default number of validation samples, mirroring the paper's 2,500-image
+/// validation split (kept smaller by default so the full experiment suite
+/// runs in seconds; the experiments crate scales it back up where needed).
+pub const DEFAULT_VALIDATION_SAMPLES: usize = 600;
+
+/// A set of frames used for offline model characterization and
+/// confidence-graph construction.
+///
+/// ```
+/// use shift_video::CharacterizationDataset;
+///
+/// let dataset = CharacterizationDataset::generate(64, 7);
+/// assert_eq!(dataset.len(), 64);
+/// assert!(dataset.frames().iter().any(|f| f.context.difficulty() > 0.5));
+/// assert!(dataset.frames().iter().any(|f| f.context.difficulty() < 0.3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CharacterizationDataset {
+    frames: Vec<Frame>,
+    seed: u64,
+}
+
+impl CharacterizationDataset {
+    /// Generates a dataset with `samples` frames from seed `seed`.
+    ///
+    /// Samples are drawn from many short synthetic clips with randomized
+    /// trajectories, backgrounds and occlusions, stratified so that easy,
+    /// medium and hard contexts are all represented.
+    pub fn generate(samples: usize, seed: u64) -> Self {
+        let samples = samples.max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut frames = Vec::with_capacity(samples);
+        let clip_len = 8usize;
+        let mut clip_id = 0u64;
+        while frames.len() < samples {
+            // Stratify difficulty: cycle target bands so the dataset covers
+            // the whole spectrum regardless of sample count.
+            let band = (clip_id % 4) as f64 / 4.0;
+            let scenario = random_clip(&mut rng, seed ^ clip_id, band, clip_len);
+            for frame in scenario.stream() {
+                if frames.len() >= samples {
+                    break;
+                }
+                frames.push(frame);
+            }
+            clip_id += 1;
+        }
+        Self { frames, seed }
+    }
+
+    /// Generates the default-sized validation dataset.
+    pub fn default_validation(seed: u64) -> Self {
+        Self::generate(DEFAULT_VALIDATION_SAMPLES, seed)
+    }
+
+    /// The frames of the dataset.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the dataset is empty (never true for generated datasets).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Seed the dataset was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Iterator over frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, Frame> {
+        self.frames.iter()
+    }
+
+    /// Mean difficulty of the dataset's contexts — useful to sanity-check the
+    /// stratification.
+    pub fn mean_difficulty(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames
+            .iter()
+            .map(|f| f.context.difficulty())
+            .sum::<f64>()
+            / self.frames.len() as f64
+    }
+
+    /// Contexts of all frames, in order.
+    pub fn contexts(&self) -> Vec<FrameContext> {
+        self.frames.iter().map(|f| f.context).collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a CharacterizationDataset {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+/// Builds one short randomized clip whose difficulty is centred on `band`.
+fn random_clip(rng: &mut StdRng, seed: u64, band: f64, frames: usize) -> Scenario {
+    let spread = 0.25;
+    let level = |rng: &mut StdRng| (band + rng.gen_range(0.0..spread)).clamp(0.0, 1.0);
+    let distance = level(rng);
+    let clutter = level(rng);
+    let contrast = 1.0 - level(rng) * 0.8;
+    let lighting = 1.0 - level(rng) * 0.6;
+    let environment = if rng.gen_bool(0.4) {
+        Environment::Indoor
+    } else {
+        Environment::Outdoor
+    };
+    let x0: f64 = rng.gen_range(0.1..0.9);
+    let y0: f64 = rng.gen_range(0.2..0.8);
+    let x1 = (x0 + rng.gen_range(-0.3..0.3f64)).clamp(0.05, 0.95);
+    let y1 = (y0 + rng.gen_range(-0.2..0.2f64)).clamp(0.05, 0.95);
+    let trajectory = Trajectory::new(vec![
+        Waypoint::new(0.0, x0, y0, distance),
+        Waypoint::new(1.0, x1, y1, (distance + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0)),
+    ]);
+    let occlusions = if rng.gen_bool(0.15) {
+        vec![Window::new(0.3, 0.6, rng.gen_range(0.2..0.7))]
+    } else {
+        vec![]
+    };
+    let absences = if rng.gen_bool(0.05) {
+        vec![Window::new(0.7, 1.0, 1.0)]
+    } else {
+        vec![]
+    };
+    Scenario::new(
+        format!("characterization-clip-{seed}"),
+        environment,
+        frames,
+        trajectory,
+        vec![BackgroundSegment::new(0.0, clutter, contrast, lighting)],
+        occlusions,
+        absences,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_produces_requested_count() {
+        let d = CharacterizationDataset::generate(100, 1);
+        assert_eq!(d.len(), 100);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CharacterizationDataset::generate(50, 9);
+        let b = CharacterizationDataset::generate(50, 9);
+        assert_eq!(a.frames(), b.frames());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CharacterizationDataset::generate(30, 1);
+        let b = CharacterizationDataset::generate(30, 2);
+        assert_ne!(a.frames(), b.frames());
+    }
+
+    #[test]
+    fn difficulty_spectrum_is_covered() {
+        let d = CharacterizationDataset::generate(200, 3);
+        let difficulties: Vec<f64> = d.iter().map(|f| f.context.difficulty()).collect();
+        let easy = difficulties.iter().filter(|&&x| x < 0.3).count();
+        let hard = difficulties.iter().filter(|&&x| x > 0.6).count();
+        assert!(easy > 10, "expected easy samples, got {easy}");
+        assert!(hard > 10, "expected hard samples, got {hard}");
+        let mean = d.mean_difficulty();
+        assert!((0.2..=0.8).contains(&mean), "mean difficulty {mean}");
+    }
+
+    #[test]
+    fn minimum_one_sample() {
+        let d = CharacterizationDataset::generate(0, 5);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn into_iterator_yields_all_frames() {
+        let d = CharacterizationDataset::generate(16, 4);
+        let count = (&d).into_iter().count();
+        assert_eq!(count, 16);
+        assert_eq!(d.contexts().len(), 16);
+    }
+
+    #[test]
+    fn default_validation_size() {
+        let d = CharacterizationDataset::default_validation(11);
+        assert_eq!(d.len(), DEFAULT_VALIDATION_SAMPLES);
+        assert_eq!(d.seed(), 11);
+    }
+}

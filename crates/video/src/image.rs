@@ -1,0 +1,387 @@
+//! Grayscale images and procedural scene rendering.
+//!
+//! Frames are rendered as small grayscale buffers: a background whose texture
+//! is controlled by the scenario's clutter/lighting parameters plus a target
+//! blob whose size and intensity follow the UAV's distance and the
+//! target/background contrast. The pixels feed the normalized
+//! cross-correlation used by both the SHIFT context detector and the Marlin
+//! tracker baseline, so they must actually change when the scene context
+//! changes — this is what makes the scheduler's NCC gate meaningful.
+
+use crate::bbox::BoundingBox;
+use serde::{Deserialize, Serialize};
+
+/// A row-major grayscale image with `f32` pixel intensities in `[0, 1]`.
+///
+/// ```
+/// use shift_video::GrayImage;
+///
+/// let img = GrayImage::from_fn(4, 4, |x, y| (x + y) as f32 / 8.0);
+/// assert_eq!(img.get(3, 3), 0.75);
+/// assert!((img.mean() - 0.375).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// Creates an image filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(width: usize, height: usize, mut f: F) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels (`width * height`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the image has no pixels (never the case for constructed
+    /// images; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`, clamping the value to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: f32) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = value.clamp(0.0, 1.0);
+    }
+
+    /// Borrow of the raw pixel buffer in row-major order.
+    pub fn pixels(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Population variance of the pixel intensities.
+    pub fn variance(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.data
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.data.len() as f64
+    }
+
+    /// Extracts the sub-image covered by `bbox`, clamped to the image bounds.
+    ///
+    /// Returns `None` when the clamped region is smaller than one pixel.
+    pub fn crop(&self, bbox: &BoundingBox) -> Option<GrayImage> {
+        let clamped = bbox.clamped(self.width, self.height);
+        let x0 = clamped.x.floor() as usize;
+        let y0 = clamped.y.floor() as usize;
+        let x1 = (clamped.right().ceil() as usize).min(self.width);
+        let y1 = (clamped.bottom().ceil() as usize).min(self.height);
+        if x1 <= x0 || y1 <= y0 {
+            return None;
+        }
+        Some(GrayImage::from_fn(x1 - x0, y1 - y0, |x, y| {
+            self.get(x0 + x, y0 + y)
+        }))
+    }
+
+    /// Resamples the image to `(width, height)` with nearest-neighbour
+    /// interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn resized(&self, width: usize, height: usize) -> GrayImage {
+        assert!(width > 0 && height > 0, "resize dimensions must be non-zero");
+        GrayImage::from_fn(width, height, |x, y| {
+            let sx = ((x as f64 + 0.5) / width as f64 * self.width as f64).floor() as usize;
+            let sy = ((y as f64 + 0.5) / height as f64 * self.height as f64).floor() as usize;
+            self.get(sx.min(self.width - 1), sy.min(self.height - 1))
+        })
+    }
+
+    /// Adds `delta` to every pixel, clamping to `[0, 1]`.
+    pub fn brightened(&self, delta: f32) -> GrayImage {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            (self.get(x, y) + delta).clamp(0.0, 1.0)
+        })
+    }
+}
+
+/// Parameters describing the visual appearance of one rendered frame.
+///
+/// The renderer is intentionally simple; what matters is that the NCC between
+/// consecutive frames drops when the background pattern, target position or
+/// lighting change abruptly, mirroring the signal the real system would see.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneAppearance {
+    /// Identifier of the background pattern (changes the procedural phase).
+    pub background_id: u32,
+    /// High-frequency texture amplitude in `[0, 1]`; higher means a busier
+    /// background that is harder to distinguish the target from.
+    pub clutter: f64,
+    /// Target/background intensity contrast in `[0, 1]`.
+    pub contrast: f64,
+    /// Global illumination level in `[0, 1]`.
+    pub lighting: f64,
+    /// Per-frame sensor-noise amplitude in `[0, 1]`.
+    pub noise: f64,
+    /// Horizontal camera-shake offset for this frame, as a fraction of the
+    /// frame width. Platform vibration and ego-motion shift the background
+    /// pattern between consecutive frames, which is what makes the NCC-based
+    /// context detector react more strongly on cluttered scenes.
+    pub camera_dx: f64,
+    /// Vertical camera-shake offset, as a fraction of the frame height.
+    pub camera_dy: f64,
+}
+
+impl Default for SceneAppearance {
+    fn default() -> Self {
+        Self {
+            background_id: 0,
+            clutter: 0.3,
+            contrast: 0.7,
+            lighting: 0.8,
+            noise: 0.02,
+            camera_dx: 0.0,
+            camera_dy: 0.0,
+        }
+    }
+}
+
+/// Renders a frame: procedural background plus (optionally) the UAV target.
+///
+/// `target` is the ground-truth bounding box in pixel coordinates; `None`
+/// renders a frame without the target (the paper's scenarios contain windows
+/// where the UAV leaves the camera's field of view). `seed` controls the
+/// deterministic sensor noise so identical calls produce identical pixels.
+pub fn render_frame(
+    width: usize,
+    height: usize,
+    appearance: &SceneAppearance,
+    target: Option<&BoundingBox>,
+    seed: u64,
+) -> GrayImage {
+    let base = (0.25 + 0.55 * appearance.lighting) as f32;
+    let clutter = appearance.clutter as f32;
+    let phase = appearance.background_id as f32 * 1.7 + 0.31;
+    let mut img = GrayImage::from_fn(width, height, |x, y| {
+        let fx = x as f32 / width as f32 + appearance.camera_dx as f32;
+        let fy = y as f32 / height as f32 + appearance.camera_dy as f32;
+        // Low-frequency structure unique to the background id.
+        let lowf = ((fx * 6.3 + phase).sin() * (fy * 4.7 + phase * 0.5).cos()) * 0.18;
+        // High-frequency clutter texture.
+        let highf = ((fx * 61.0 + phase * 3.0).sin() * (fy * 53.0 + phase * 2.0).sin()) * 0.30;
+        let noise = hash_noise(x as u64, y as u64, seed ^ appearance.background_id as u64)
+            * appearance.noise as f32;
+        (base + lowf + clutter * highf + noise).clamp(0.0, 1.0)
+    });
+
+    if let Some(bbox) = target {
+        draw_target(&mut img, bbox, appearance);
+    }
+    img
+}
+
+/// Draws the UAV target as a cross-shaped blob whose intensity offset from
+/// the background is proportional to the contrast parameter.
+fn draw_target(img: &mut GrayImage, bbox: &BoundingBox, appearance: &SceneAppearance) {
+    let clamped = bbox.clamped(img.width(), img.height());
+    if clamped.is_empty() {
+        return;
+    }
+    let (cx, cy) = clamped.center();
+    let delta = (0.25 + 0.6 * appearance.contrast) as f32;
+    let x0 = clamped.x.floor().max(0.0) as usize;
+    let y0 = clamped.y.floor().max(0.0) as usize;
+    let x1 = (clamped.right().ceil() as usize).min(img.width());
+    let y1 = (clamped.bottom().ceil() as usize).min(img.height());
+    for y in y0..y1 {
+        for x in x0..x1 {
+            let dx = (x as f64 + 0.5 - cx).abs() / (clamped.w / 2.0).max(0.5);
+            let dy = (y as f64 + 0.5 - cy).abs() / (clamped.h / 2.0).max(0.5);
+            // Cross/rotor shape: bright body along both axes, dimmer corners.
+            let body = if dx < 0.35 || dy < 0.35 { 1.0 } else { 0.55 };
+            if dx <= 1.0 && dy <= 1.0 {
+                let falloff = (1.0 - (dx.max(dy)).powi(2)) as f32;
+                let value = img.get(x, y) - delta * body as f32 * falloff;
+                img.set(x, y, value);
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random value in `[-0.5, 0.5]` derived from pixel
+/// coordinates and a seed (splitmix-style hash). Used for sensor noise so the
+/// renderer does not need to thread an RNG through every pixel.
+fn hash_noise(x: u64, y: u64, seed: u64) -> f32 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(x.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(y.wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h as f32 / u64::MAX as f32) - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_image_panics() {
+        let _ = GrayImage::new(0, 4);
+    }
+
+    #[test]
+    fn from_fn_and_get_set() {
+        let mut img = GrayImage::from_fn(3, 2, |x, y| (x * 10 + y) as f32 / 100.0);
+        assert_eq!(img.get(2, 1), 0.21);
+        img.set(0, 0, 2.0);
+        assert_eq!(img.get(0, 0), 1.0, "set clamps to [0,1]");
+        assert_eq!(img.len(), 6);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn mean_and_variance_of_constant_image() {
+        let img = GrayImage::from_fn(8, 8, |_, _| 0.5);
+        assert!((img.mean() - 0.5).abs() < 1e-9);
+        assert!(img.variance() < 1e-12);
+    }
+
+    #[test]
+    fn crop_inside_bounds() {
+        let img = GrayImage::from_fn(10, 10, |x, y| if x >= 5 && y >= 5 { 1.0 } else { 0.0 });
+        let crop = img
+            .crop(&BoundingBox::new(5.0, 5.0, 5.0, 5.0))
+            .expect("crop exists");
+        assert_eq!(crop.width(), 5);
+        assert_eq!(crop.height(), 5);
+        assert!((crop.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crop_outside_bounds_is_none() {
+        let img = GrayImage::new(10, 10);
+        assert!(img.crop(&BoundingBox::new(50.0, 50.0, 5.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn resized_preserves_constant_image() {
+        let img = GrayImage::from_fn(16, 16, |_, _| 0.25);
+        let small = img.resized(4, 4);
+        assert_eq!(small.width(), 4);
+        assert!((small.mean() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let appearance = SceneAppearance::default();
+        let bbox = BoundingBox::from_center(32.0, 32.0, 12.0, 10.0);
+        let a = render_frame(64, 64, &appearance, Some(&bbox), 42);
+        let b = render_frame(64, 64, &appearance, Some(&bbox), 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_changes_with_background_id() {
+        let mut a_app = SceneAppearance::default();
+        let mut b_app = SceneAppearance::default();
+        a_app.background_id = 0;
+        b_app.background_id = 7;
+        let a = render_frame(32, 32, &a_app, None, 1);
+        let b = render_frame(32, 32, &b_app, None, 1);
+        assert_ne!(a, b, "different backgrounds must produce different pixels");
+    }
+
+    #[test]
+    fn target_darkens_its_region() {
+        let appearance = SceneAppearance {
+            clutter: 0.0,
+            noise: 0.0,
+            contrast: 1.0,
+            ..SceneAppearance::default()
+        };
+        let bbox = BoundingBox::from_center(16.0, 16.0, 10.0, 10.0);
+        let with = render_frame(32, 32, &appearance, Some(&bbox), 3);
+        let without = render_frame(32, 32, &appearance, None, 3);
+        let inside_with = with.crop(&bbox).expect("crop").mean();
+        let inside_without = without.crop(&bbox).expect("crop").mean();
+        assert!(
+            inside_with < inside_without - 0.1,
+            "target should darken pixels: {inside_with} vs {inside_without}"
+        );
+    }
+
+    #[test]
+    fn brightened_clamps() {
+        let img = GrayImage::from_fn(4, 4, |_, _| 0.9).brightened(0.5);
+        assert!((img.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_noise_range_and_determinism() {
+        for i in 0..100u64 {
+            let v = hash_noise(i, i * 3, 7);
+            assert!((-0.5..=0.5).contains(&v));
+            assert_eq!(v, hash_noise(i, i * 3, 7));
+        }
+    }
+}

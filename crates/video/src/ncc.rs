@@ -1,0 +1,223 @@
+//! Normalized cross-correlation (Eq. 1 of the paper).
+//!
+//! The SHIFT scheduler assesses frame similarity with the normalized
+//! cross-correlation between consecutive grayscale frames and between the
+//! crops under consecutive bounding-box detections:
+//!
+//! ```text
+//! NCC(p, c) = sum((p - mean(p)) * (c - mean(c)))
+//!             / (sqrt(sum((c - mean(c))^2)) * sqrt(sum((p - mean(p))^2)))
+//! ```
+//!
+//! A value near `1` means the scene barely changed; a sharp drop signals a
+//! context change that should trigger re-scheduling.
+
+use crate::bbox::BoundingBox;
+use crate::image::GrayImage;
+use crate::VideoError;
+
+/// Size (width and height) that bounding-box crops are resampled to before
+/// computing their NCC, so that boxes of different sizes remain comparable.
+pub const REGION_NCC_SIZE: usize = 16;
+
+/// Computes the normalized cross-correlation between two images of identical
+/// dimensions.
+///
+/// Returns a value in `[-1, 1]`. When either image has (numerically) zero
+/// variance the correlation is defined as `1.0` if both are flat and `0.0`
+/// otherwise, which matches the intuitive reading of "nothing changed" /
+/// "everything changed" used by the scheduler.
+///
+/// # Errors
+///
+/// Returns [`VideoError::DimensionMismatch`] when the images have different
+/// sizes.
+///
+/// ```
+/// use shift_video::{GrayImage, ncc};
+///
+/// let a = GrayImage::from_fn(8, 8, |x, y| (x + y) as f32 / 16.0);
+/// let same = ncc(&a, &a)?;
+/// assert!((same - 1.0).abs() < 1e-6);
+/// # Ok::<(), shift_video::VideoError>(())
+/// ```
+pub fn ncc(p: &GrayImage, c: &GrayImage) -> Result<f64, VideoError> {
+    if p.width() != c.width() || p.height() != c.height() {
+        return Err(VideoError::DimensionMismatch {
+            lhs: (p.width(), p.height()),
+            rhs: (c.width(), c.height()),
+        });
+    }
+    let mp = p.mean();
+    let mc = c.mean();
+    let mut num = 0.0f64;
+    let mut dp = 0.0f64;
+    let mut dc = 0.0f64;
+    for (a, b) in p.pixels().iter().zip(c.pixels().iter()) {
+        let da = *a as f64 - mp;
+        let db = *b as f64 - mc;
+        num += da * db;
+        dp += da * da;
+        dc += db * db;
+    }
+    const EPS: f64 = 1e-12;
+    if dp < EPS && dc < EPS {
+        return Ok(1.0);
+    }
+    if dp < EPS || dc < EPS {
+        return Ok(0.0);
+    }
+    Ok((num / (dp.sqrt() * dc.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Computes the NCC between the regions of two frames selected by two
+/// bounding boxes (the "bounding-box NCC" term of the scheduler's similarity
+/// score).
+///
+/// Both crops are resampled to [`REGION_NCC_SIZE`]² before correlation so
+/// that detections of different sizes can be compared. If either box does not
+/// overlap its frame the function returns `0.0`, signalling maximal change —
+/// this is what drives re-scheduling when a detection disappears.
+pub fn ncc_regions(
+    prev_frame: &GrayImage,
+    prev_bbox: &BoundingBox,
+    cur_frame: &GrayImage,
+    cur_bbox: &BoundingBox,
+) -> f64 {
+    let prev_crop = prev_frame.crop(prev_bbox);
+    let cur_crop = cur_frame.crop(cur_bbox);
+    match (prev_crop, cur_crop) {
+        (Some(p), Some(c)) => {
+            let p = p.resized(REGION_NCC_SIZE, REGION_NCC_SIZE);
+            let c = c.resized(REGION_NCC_SIZE, REGION_NCC_SIZE);
+            ncc(&p, &c).unwrap_or(0.0)
+        }
+        _ => 0.0,
+    }
+}
+
+/// Convenience helper computing the scheduler's combined similarity score:
+/// `min(NCC(last image, image), NCC(last bbox crop, bbox crop))`.
+pub fn frame_similarity(
+    prev_frame: &GrayImage,
+    prev_bbox: &BoundingBox,
+    cur_frame: &GrayImage,
+    cur_bbox: &BoundingBox,
+) -> f64 {
+    let image_ncc = ncc(prev_frame, cur_frame).unwrap_or(0.0);
+    let bbox_ncc = ncc_regions(prev_frame, prev_bbox, cur_frame, cur_bbox);
+    image_ncc.min(bbox_ncc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{render_frame, SceneAppearance};
+
+    fn gradient(w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| (x as f32 + y as f32) / (w + h) as f32)
+    }
+
+    #[test]
+    fn self_ncc_is_one() {
+        let img = gradient(16, 16);
+        assert!((ncc(&img, &img).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_image_has_ncc_minus_one() {
+        let img = gradient(16, 16);
+        let inv = GrayImage::from_fn(16, 16, |x, y| 1.0 - img.get(x, y));
+        assert!((ncc(&img, &inv).unwrap() + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_images_are_perfectly_similar() {
+        let a = GrayImage::from_fn(8, 8, |_, _| 0.3);
+        let b = GrayImage::from_fn(8, 8, |_, _| 0.9);
+        // Both have zero variance: defined as identical structure.
+        assert_eq!(ncc(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn flat_vs_textured_is_zero() {
+        let flat = GrayImage::from_fn(8, 8, |_, _| 0.5);
+        let tex = gradient(8, 8);
+        assert_eq!(ncc(&flat, &tex).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = GrayImage::new(4, 4);
+        let b = GrayImage::new(8, 8);
+        assert!(matches!(
+            ncc(&a, &b),
+            Err(VideoError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ncc_in_unit_range_for_rendered_frames() {
+        let app_a = SceneAppearance::default();
+        let app_b = SceneAppearance {
+            background_id: 3,
+            clutter: 0.9,
+            ..SceneAppearance::default()
+        };
+        let a = render_frame(48, 48, &app_a, None, 1);
+        let b = render_frame(48, 48, &app_b, None, 2);
+        let v = ncc(&a, &b).unwrap();
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn background_change_lowers_ncc() {
+        let same = SceneAppearance::default();
+        let different = SceneAppearance {
+            background_id: 9,
+            lighting: 0.3,
+            clutter: 0.9,
+            ..SceneAppearance::default()
+        };
+        let a = render_frame(48, 48, &same, None, 10);
+        let b = render_frame(48, 48, &same, None, 11);
+        let c = render_frame(48, 48, &different, None, 12);
+        let similar = ncc(&a, &b).unwrap();
+        let dissimilar = ncc(&a, &c).unwrap();
+        assert!(
+            similar > dissimilar,
+            "same background should correlate more: {similar} vs {dissimilar}"
+        );
+        assert!(similar > 0.8);
+    }
+
+    #[test]
+    fn region_ncc_of_identical_crops_is_high() {
+        let app = SceneAppearance::default();
+        let bbox = BoundingBox::from_center(24.0, 24.0, 12.0, 12.0);
+        let frame = render_frame(48, 48, &app, Some(&bbox), 5);
+        let v = ncc_regions(&frame, &bbox, &frame, &bbox);
+        assert!(v > 0.99, "identical crops should correlate, got {v}");
+    }
+
+    #[test]
+    fn region_ncc_with_out_of_frame_box_is_zero() {
+        let frame = render_frame(32, 32, &SceneAppearance::default(), None, 5);
+        let inside = BoundingBox::from_center(16.0, 16.0, 8.0, 8.0);
+        let outside = BoundingBox::new(500.0, 500.0, 8.0, 8.0);
+        assert_eq!(ncc_regions(&frame, &inside, &frame, &outside), 0.0);
+    }
+
+    #[test]
+    fn frame_similarity_is_min_of_terms() {
+        let app = SceneAppearance::default();
+        let bbox = BoundingBox::from_center(20.0, 20.0, 10.0, 10.0);
+        let a = render_frame(40, 40, &app, Some(&bbox), 1);
+        let moved = bbox.translated(10.0, 0.0);
+        let b = render_frame(40, 40, &app, Some(&moved), 2);
+        let sim = frame_similarity(&a, &bbox, &b, &moved);
+        let img = ncc(&a, &b).unwrap();
+        let reg = ncc_regions(&a, &bbox, &b, &moved);
+        assert!((sim - img.min(reg)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Frame streams: the iterator interface every runtime consumes.
+
+use crate::bbox::BoundingBox;
+use crate::context::FrameContext;
+use crate::image::{render_frame, GrayImage};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// A single frame of a scenario: pixels, ground truth and latent context.
+///
+/// Ground truth (`truth`) and context are consumed only by the evaluation
+/// harness and the detection response model; the SHIFT runtime itself sees
+/// only `image` and the detections produced by whichever model it ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Zero-based frame index within its scenario.
+    pub index: usize,
+    /// Rendered grayscale pixels.
+    pub image: GrayImage,
+    /// Ground-truth bounding box, or `None` when the target is out of view.
+    pub truth: Option<BoundingBox>,
+    /// Latent scene context used by the detection response model.
+    pub context: FrameContext,
+}
+
+impl Frame {
+    /// Normalized time of the frame inside a video of `total` frames.
+    pub fn normalized_time(&self, total: usize) -> f64 {
+        if total <= 1 {
+            0.0
+        } else {
+            self.index.min(total - 1) as f64 / (total - 1) as f64
+        }
+    }
+}
+
+/// Iterator over the frames of a [`Scenario`].
+///
+/// The iterator is deterministic: two streams created from equal scenarios
+/// yield identical frames.
+///
+/// ```
+/// use shift_video::Scenario;
+///
+/// let scenario = Scenario::scenario_3().with_num_frames(5);
+/// let a: Vec<_> = scenario.stream().collect();
+/// let b: Vec<_> = scenario.stream().collect();
+/// assert_eq!(a.len(), 5);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameStream {
+    scenario: Scenario,
+    next_index: usize,
+}
+
+impl FrameStream {
+    /// Creates a stream over all frames of `scenario`.
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            next_index: 0,
+        }
+    }
+
+    /// The scenario backing this stream.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Renders the frame at `index` without advancing the iterator.
+    pub fn frame_at(&self, index: usize) -> Option<Frame> {
+        if index >= self.scenario.num_frames() {
+            return None;
+        }
+        let context = self.scenario.context_at(index);
+        let truth = self.scenario.truth_at(index);
+        let appearance = self.scenario.appearance_at(index);
+        let seed = self
+            .scenario
+            .seed()
+            .wrapping_mul(0x1000_0000_01B3)
+            .wrapping_add(index as u64);
+        let image = render_frame(
+            self.scenario.frame_width(),
+            self.scenario.frame_height(),
+            &appearance,
+            truth.as_ref(),
+            seed,
+        );
+        Some(Frame {
+            index,
+            image,
+            truth,
+            context,
+        })
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        let frame = self.frame_at(self.next_index)?;
+        self.next_index += 1;
+        Some(frame)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.scenario.num_frames().saturating_sub(self.next_index);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for FrameStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_yields_every_frame_exactly_once() {
+        let scenario = Scenario::scenario_3().with_num_frames(20);
+        let frames: Vec<_> = scenario.stream().collect();
+        assert_eq!(frames.len(), 20);
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.index, i);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let scenario = Scenario::scenario_1().with_num_frames(12);
+        let a: Vec<_> = scenario.stream().collect();
+        let b: Vec<_> = scenario.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_pixels() {
+        let a: Vec<_> = Scenario::scenario_3()
+            .with_num_frames(3)
+            .with_seed(1)
+            .stream()
+            .collect();
+        let b: Vec<_> = Scenario::scenario_3()
+            .with_num_frames(3)
+            .with_seed(2)
+            .stream()
+            .collect();
+        assert_ne!(a[0].image, b[0].image);
+    }
+
+    #[test]
+    fn size_hint_and_exact_size() {
+        let scenario = Scenario::scenario_3().with_num_frames(7);
+        let mut stream = scenario.stream();
+        assert_eq!(stream.len(), 7);
+        stream.next();
+        assert_eq!(stream.len(), 6);
+        assert_eq!(stream.size_hint(), (6, Some(6)));
+    }
+
+    #[test]
+    fn frame_at_out_of_range_is_none() {
+        let scenario = Scenario::scenario_3().with_num_frames(5);
+        let stream = scenario.stream();
+        assert!(stream.frame_at(5).is_none());
+        assert!(stream.frame_at(4).is_some());
+    }
+
+    #[test]
+    fn truth_matches_scenario_truth() {
+        let scenario = Scenario::scenario_2().with_num_frames(40);
+        for frame in scenario.stream() {
+            assert_eq!(frame.truth, scenario.truth_at(frame.index));
+            assert_eq!(frame.context, scenario.context_at(frame.index));
+        }
+    }
+
+    #[test]
+    fn normalized_time_endpoints() {
+        let scenario = Scenario::scenario_3().with_num_frames(10);
+        let frames: Vec<_> = scenario.stream().collect();
+        assert_eq!(frames[0].normalized_time(10), 0.0);
+        assert!((frames[9].normalized_time(10) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,371 @@
+//! Parametric UAV trajectories.
+//!
+//! A trajectory maps normalized video time `t in [0, 1]` to a normalized
+//! image position `(x, y) in [0, 1]^2` and a normalized camera distance.
+//! The paper's scenarios move the drone across backgrounds at varying or
+//! fixed distances; these builders produce the equivalent motion profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A single key point of a piecewise-linear trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Waypoint {
+    /// Normalized time in `[0, 1]`.
+    pub t: f64,
+    /// Normalized horizontal position in `[0, 1]` (0 = left edge).
+    pub x: f64,
+    /// Normalized vertical position in `[0, 1]` (0 = top edge).
+    pub y: f64,
+    /// Normalized distance from the camera in `[0, 1]` (0 = close).
+    pub distance: f64,
+}
+
+impl Waypoint {
+    /// Creates a waypoint, clamping every coordinate to `[0, 1]`.
+    pub fn new(t: f64, x: f64, y: f64, distance: f64) -> Self {
+        Self {
+            t: t.clamp(0.0, 1.0),
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+            distance: distance.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A piecewise-linear trajectory through waypoints sorted by time.
+///
+/// ```
+/// use shift_video::{Trajectory, Waypoint};
+///
+/// let path = Trajectory::new(vec![
+///     Waypoint::new(0.0, 0.0, 0.5, 0.2),
+///     Waypoint::new(1.0, 1.0, 0.5, 0.8),
+/// ]);
+/// let (x, _y, d) = path.sample(0.5);
+/// assert!((x - 0.5).abs() < 1e-9);
+/// assert!((d - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Waypoint>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from waypoints; they are sorted by time. An empty
+    /// waypoint list yields a stationary centre hover.
+    pub fn new(mut waypoints: Vec<Waypoint>) -> Self {
+        if waypoints.is_empty() {
+            waypoints.push(Waypoint::new(0.0, 0.5, 0.5, 0.3));
+        }
+        waypoints.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("waypoint times are finite"));
+        Self { waypoints }
+    }
+
+    /// The waypoints, sorted by time.
+    pub fn waypoints(&self) -> &[Waypoint] {
+        &self.waypoints
+    }
+
+    /// Samples the trajectory at normalized time `t`, returning
+    /// `(x, y, distance)` with linear interpolation between waypoints and
+    /// clamping outside the waypoint range.
+    pub fn sample(&self, t: f64) -> (f64, f64, f64) {
+        let t = t.clamp(0.0, 1.0);
+        let first = self.waypoints.first().expect("at least one waypoint");
+        let last = self.waypoints.last().expect("at least one waypoint");
+        if t <= first.t {
+            return (first.x, first.y, first.distance);
+        }
+        if t >= last.t {
+            return (last.x, last.y, last.distance);
+        }
+        for pair in self.waypoints.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if t >= a.t && t <= b.t {
+                let span = (b.t - a.t).max(1e-12);
+                let f = (t - a.t) / span;
+                return (
+                    a.x + f * (b.x - a.x),
+                    a.y + f * (b.y - a.y),
+                    a.distance + f * (b.distance - a.distance),
+                );
+            }
+        }
+        (last.x, last.y, last.distance)
+    }
+
+    /// Approximate instantaneous normalized speed at time `t` (finite
+    /// difference over `dt = 1e-3` of the image-plane position).
+    pub fn speed(&self, t: f64) -> f64 {
+        let dt = 1e-3;
+        let (x0, y0, _) = self.sample((t - dt).max(0.0));
+        let (x1, y1, _) = self.sample((t + dt).min(1.0));
+        ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt() / (2.0 * dt)
+    }
+
+    /// A stationary hover at the given position/distance.
+    pub fn hover(x: f64, y: f64, distance: f64) -> Self {
+        Self::new(vec![Waypoint::new(0.0, x, y, distance)])
+    }
+
+    /// A straight horizontal sweep from the left edge to the right edge at a
+    /// fixed distance — the motion used by the paper's Scenario 2.
+    pub fn horizontal_sweep(y: f64, distance: f64) -> Self {
+        Self::new(vec![
+            Waypoint::new(0.0, 0.02, y, distance),
+            Waypoint::new(1.0, 0.98, y, distance),
+        ])
+    }
+
+    /// An out-and-back pass: the target recedes from the camera to
+    /// `far_distance`, traverses laterally while far, then returns — the
+    /// motion of the paper's Scenario 1 ("varying distances").
+    pub fn approach_retreat(far_distance: f64) -> Self {
+        Self::new(vec![
+            Waypoint::new(0.0, 0.25, 0.50, 0.15),
+            Waypoint::new(0.25, 0.40, 0.45, far_distance),
+            Waypoint::new(0.50, 0.70, 0.55, far_distance),
+            Waypoint::new(0.75, 0.60, 0.50, 0.45),
+            Waypoint::new(1.0, 0.45, 0.50, 0.12),
+        ])
+    }
+
+    /// A lawnmower / serpentine pattern covering the frame, used for
+    /// characterization-style coverage of positions.
+    pub fn lawnmower(rows: usize, distance: f64) -> Self {
+        let rows = rows.max(1);
+        let mut waypoints = Vec::with_capacity(rows * 2);
+        for row in 0..rows {
+            let y = (row as f64 + 0.5) / rows as f64;
+            let t0 = row as f64 / rows as f64;
+            let t1 = (row as f64 + 1.0) / rows as f64;
+            if row % 2 == 0 {
+                waypoints.push(Waypoint::new(t0, 0.05, y, distance));
+                waypoints.push(Waypoint::new(t1, 0.95, y, distance));
+            } else {
+                waypoints.push(Waypoint::new(t0, 0.95, y, distance));
+                waypoints.push(Waypoint::new(t1, 0.05, y, distance));
+            }
+        }
+        Self::new(waypoints)
+    }
+
+    /// A dive toward the camera followed by a climb away from it while
+    /// drifting laterally; produces strong size changes of the target.
+    pub fn dive_and_climb() -> Self {
+        Self::new(vec![
+            Waypoint::new(0.0, 0.30, 0.30, 0.70),
+            Waypoint::new(0.35, 0.50, 0.60, 0.10),
+            Waypoint::new(0.65, 0.65, 0.55, 0.20),
+            Waypoint::new(1.0, 0.85, 0.35, 0.85),
+        ])
+    }
+
+    /// A circular orbit around a center point at a fixed distance — the
+    /// surveillance pattern a quadcopter flies around a point of interest.
+    /// `laps` full revolutions are completed over the trajectory.
+    pub fn orbit(center_x: f64, center_y: f64, radius: f64, distance: f64, laps: usize) -> Self {
+        let laps = laps.max(1);
+        let segments = 16 * laps;
+        let waypoints = (0..=segments)
+            .map(|i| {
+                let t = i as f64 / segments as f64;
+                let angle = t * laps as f64 * std::f64::consts::TAU;
+                Waypoint::new(
+                    t,
+                    (center_x + radius * angle.cos()).clamp(0.02, 0.98),
+                    (center_y + radius * angle.sin()).clamp(0.02, 0.98),
+                    distance,
+                )
+            })
+            .collect();
+        Self::new(waypoints)
+    }
+
+    /// A figure-eight (lemniscate) pattern centered in the frame, with the
+    /// target nearer to the camera on the left lobe than on the right lobe —
+    /// it exercises both position and apparent-size changes simultaneously.
+    pub fn figure_eight(near_distance: f64, far_distance: f64) -> Self {
+        let segments = 48;
+        let waypoints = (0..=segments)
+            .map(|i| {
+                let t = i as f64 / segments as f64;
+                let angle = t * std::f64::consts::TAU;
+                let x = 0.5 + 0.38 * angle.sin();
+                let y = 0.5 + 0.30 * angle.sin() * angle.cos();
+                let blend = 0.5 * (1.0 + angle.cos());
+                let distance = far_distance + (near_distance - far_distance) * blend;
+                Waypoint::new(t, x.clamp(0.02, 0.98), y.clamp(0.02, 0.98), distance)
+            })
+            .collect();
+        Self::new(waypoints)
+    }
+
+    /// A hover with small deterministic position jitter, modeling the station
+    /// holding of a real quadcopter in light wind.
+    pub fn hover_jitter(x: f64, y: f64, distance: f64, amplitude: f64) -> Self {
+        let segments = 24;
+        let amplitude = amplitude.clamp(0.0, 0.2);
+        let waypoints = (0..=segments)
+            .map(|i| {
+                let t = i as f64 / segments as f64;
+                let phase = t * std::f64::consts::TAU;
+                let dx = amplitude * (3.0 * phase).sin();
+                let dy = amplitude * (2.0 * phase).cos() * 0.6;
+                Waypoint::new(
+                    t,
+                    (x + dx).clamp(0.02, 0.98),
+                    (y + dy).clamp(0.02, 0.98),
+                    distance,
+                )
+            })
+            .collect();
+        Self::new(waypoints)
+    }
+}
+
+impl Default for Trajectory {
+    fn default() -> Self {
+        Self::hover(0.5, 0.5, 0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let t = Trajectory::new(vec![
+            Waypoint::new(0.0, 0.0, 0.0, 0.0),
+            Waypoint::new(1.0, 1.0, 1.0, 1.0),
+        ]);
+        let (x, y, d) = t.sample(0.25);
+        assert!((x - 0.25).abs() < 1e-12);
+        assert!((y - 0.25).abs() < 1e-12);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_clamps_outside_range() {
+        let t = Trajectory::horizontal_sweep(0.5, 0.4);
+        assert_eq!(t.sample(-1.0), t.sample(0.0));
+        assert_eq!(t.sample(2.0), t.sample(1.0));
+    }
+
+    #[test]
+    fn empty_waypoints_become_hover() {
+        let t = Trajectory::new(vec![]);
+        let (x, y, _) = t.sample(0.7);
+        assert_eq!((x, y), (0.5, 0.5));
+    }
+
+    #[test]
+    fn waypoints_are_sorted_by_time() {
+        let t = Trajectory::new(vec![
+            Waypoint::new(0.8, 0.8, 0.5, 0.2),
+            Waypoint::new(0.2, 0.2, 0.5, 0.2),
+        ]);
+        assert!(t.waypoints()[0].t <= t.waypoints()[1].t);
+    }
+
+    #[test]
+    fn hover_has_zero_speed() {
+        let t = Trajectory::hover(0.3, 0.4, 0.5);
+        assert!(t.speed(0.5) < 1e-9);
+    }
+
+    #[test]
+    fn sweep_has_positive_speed() {
+        let t = Trajectory::horizontal_sweep(0.5, 0.4);
+        assert!(t.speed(0.5) > 0.5);
+    }
+
+    #[test]
+    fn approach_retreat_returns_close() {
+        let t = Trajectory::approach_retreat(0.9);
+        let (_, _, d_start) = t.sample(0.0);
+        let (_, _, d_mid) = t.sample(0.4);
+        let (_, _, d_end) = t.sample(1.0);
+        assert!(d_mid > d_start);
+        assert!(d_end < d_mid);
+    }
+
+    #[test]
+    fn lawnmower_stays_in_bounds() {
+        let t = Trajectory::lawnmower(4, 0.3);
+        for i in 0..=50 {
+            let (x, y, d) = t.sample(i as f64 / 50.0);
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn waypoint_constructor_clamps() {
+        let w = Waypoint::new(2.0, -1.0, 3.0, -4.0);
+        assert_eq!(w.t, 1.0);
+        assert_eq!(w.x, 0.0);
+        assert_eq!(w.y, 1.0);
+        assert_eq!(w.distance, 0.0);
+    }
+
+    #[test]
+    fn orbit_stays_on_the_circle_and_closes() {
+        let t = Trajectory::orbit(0.5, 0.5, 0.25, 0.4, 2);
+        let (x0, y0, d0) = t.sample(0.0);
+        let (x1, y1, d1) = t.sample(1.0);
+        assert!((x0 - x1).abs() < 0.02 && (y0 - y1).abs() < 0.02, "orbit closes on itself");
+        assert_eq!(d0, d1);
+        for i in 0..=64 {
+            let (x, y, d) = t.sample(i as f64 / 64.0);
+            let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt();
+            assert!(r < 0.27, "radius {r} exceeds the orbit");
+            assert!((d - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure_eight_varies_both_position_and_distance() {
+        let t = Trajectory::figure_eight(0.1, 0.7);
+        let mut min_x: f64 = 1.0;
+        let mut max_x: f64 = 0.0;
+        let mut min_d: f64 = 1.0;
+        let mut max_d: f64 = 0.0;
+        for i in 0..=100 {
+            let (x, _, d) = t.sample(i as f64 / 100.0);
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_d = min_d.min(d);
+            max_d = max_d.max(d);
+        }
+        assert!(max_x - min_x > 0.5, "the eight should span most of the frame width");
+        assert!(max_d - min_d > 0.4, "the lobes should differ in distance");
+    }
+
+    #[test]
+    fn hover_jitter_stays_near_the_hover_point() {
+        let t = Trajectory::hover_jitter(0.5, 0.5, 0.3, 0.05);
+        for i in 0..=60 {
+            let (x, y, d) = t.sample(i as f64 / 60.0);
+            assert!((x - 0.5).abs() <= 0.051);
+            assert!((y - 0.5).abs() <= 0.051);
+            assert_eq!(d, 0.3);
+        }
+        // Zero amplitude degenerates to a plain hover.
+        let still = Trajectory::hover_jitter(0.4, 0.6, 0.2, 0.0);
+        let (x, y, _) = still.sample(0.37);
+        assert!((x - 0.4).abs() < 1e-12 && (y - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_amplitude_is_clamped() {
+        let t = Trajectory::hover_jitter(0.5, 0.5, 0.3, 5.0);
+        for i in 0..=40 {
+            let (x, y, _) = t.sample(i as f64 / 40.0);
+            assert!((0.0..=1.0).contains(&x));
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: characterize the model zoo, build SHIFT, and run it on one of
+//! the evaluation scenarios.
+//!
+//! ```text
+//! cargo run --release -p shift-experiments --example quickstart
+//! ```
+
+use shift_core::{characterize, ShiftConfig, ShiftRuntime};
+use shift_metrics::{FrameRecord, RunSummary, Table};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, Platform};
+use shift_video::{CharacterizationDataset, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the platform: an Nvidia Xavier NX (CPU, GPU, two DLA cores)
+    //    with a Luxonis OAK-D attached, exactly as in the paper's testbed.
+    let platform = Platform::xavier_nx_with_oak();
+    let zoo = ModelZoo::standard();
+    let engine = ExecutionEngine::new(platform, zoo, ResponseModel::new(7));
+
+    // 2. Offline characterization: run every model over a validation dataset
+    //    to collect accuracy, confidence, latency, energy and load-cost
+    //    traits. This is the input to the confidence graph.
+    println!("characterizing the model zoo on a synthetic validation set...");
+    let dataset = CharacterizationDataset::generate(400, 7);
+    let characterization = characterize(&engine, &dataset);
+    for (model, traits) in &characterization.traits {
+        println!(
+            "  {:<26} IoU {:.3}  success {:>5.1}%  memory {:>4.0} MB",
+            model.to_string(),
+            traits.mean_iou,
+            traits.success_rate * 100.0,
+            traits.memory_mb
+        );
+    }
+
+    // 3. Build the SHIFT runtime with the paper's default parameters
+    //    (goal accuracy 0.25, momentum 30, distance threshold 0.5,
+    //    knobs accuracy 1.0 / energy 0.5 / latency 0.5).
+    let config = ShiftConfig::paper_defaults();
+    let mut shift = ShiftRuntime::new(engine, &characterization, config)?;
+
+    // 4. Run it over Scenario 1: the drone crosses several backgrounds at
+    //    varying distances from the camera.
+    let scenario = Scenario::scenario_1().with_num_frames(600);
+    println!(
+        "\nrunning SHIFT over {} ({} frames)...",
+        scenario.name(),
+        scenario.num_frames()
+    );
+    let outcomes = shift.run(scenario.stream())?;
+    let records: Vec<FrameRecord> = outcomes
+        .iter()
+        .map(shift_experiments::outcome_to_record)
+        .collect();
+    let summary = RunSummary::from_records("SHIFT", &records);
+
+    // 5. Report the Table III style summary.
+    let table = Table::from_summaries("Quickstart summary", &[summary]);
+    println!("\n{}", table.to_text());
+    println!(
+        "model swaps: {}, distinct pairs used: {}",
+        shift.swap_count(),
+        shift.pairs_used()
+    );
+    Ok(())
+}

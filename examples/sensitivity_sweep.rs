@@ -1,0 +1,58 @@
+//! Sensitivity sweep: a reduced version of the paper's Fig. 5 — sweep the
+//! SHIFT parameters and report how each correlates with the achieved
+//! accuracy, energy and latency.
+//!
+//! ```text
+//! cargo run --release -p shift-experiments --example sensitivity_sweep
+//! ```
+//!
+//! The full 1,860-configuration sweep is available through
+//! `cargo run --release -p shift-experiments --bin repro -- fig5`.
+
+use shift_experiments::fig5::{sensitivity, sweep, SweepGrid};
+use shift_experiments::ExperimentContext;
+use shift_video::CharacterizationDataset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small context + quick grid: tens of configurations instead of 1,860.
+    let ctx = ExperimentContext::with_options(
+        7,
+        CharacterizationDataset::generate(200, 7),
+        0.05,
+    );
+    let grid = SweepGrid::quick();
+    println!(
+        "sweeping {} configurations over scenarios 1 and 2...",
+        grid.len()
+    );
+    let points = sweep(&ctx, &grid)?;
+
+    println!("\nper-configuration outcomes (first 10):");
+    for point in points.iter().take(10) {
+        println!(
+            "  knobs(acc {:.2}, e {:.2}, l {:.2}) goal {:.2} momentum {:>2} distance {:.2} \
+             -> IoU {:.3}, {:.3} J, {:.3} s",
+            point.config.knobs.accuracy,
+            point.config.knobs.energy,
+            point.config.knobs.latency,
+            point.config.accuracy_goal,
+            point.config.momentum,
+            point.config.distance_threshold,
+            point.mean_iou,
+            point.mean_energy_j,
+            point.mean_latency_s,
+        );
+    }
+
+    println!("\nparameter correlations (Fig. 5 shape):");
+    for row in sensitivity(&points) {
+        println!(
+            "  {:<20} accuracy {:+.2}  energy {:+.2}  latency {:+.2}",
+            row.parameter.to_string(),
+            row.accuracy_correlation,
+            row.energy_correlation,
+            row.latency_correlation
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Determinism and property-based integration tests.
+//!
+//! Every experiment in this repository must be exactly reproducible from its
+//! seed: the synthetic video, the detection responses, the SoC costs and the
+//! scheduler's decisions are all pure functions of (seed, configuration).
+
+use proptest::prelude::*;
+use shift_baselines::{MarlinConfig, OracleObjective};
+use shift_core::{characterize, ShiftConfig, ShiftRuntime};
+use shift_experiments::workloads::paper_shift_config;
+use shift_experiments::ExperimentContext;
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, Platform};
+use shift_video::{BoundingBox, CharacterizationDataset, GrayImage, Scenario};
+
+#[test]
+fn identical_seeds_produce_identical_shift_runs() {
+    let run = |seed: u64| {
+        let engine = ExecutionEngine::new(
+            Platform::xavier_nx_with_oak(),
+            ModelZoo::standard(),
+            ResponseModel::new(seed),
+        );
+        let characterization =
+            characterize(&engine, &CharacterizationDataset::generate(150, seed));
+        let mut runtime =
+            ShiftRuntime::new(engine, &characterization, ShiftConfig::paper_defaults())
+                .expect("runtime builds");
+        runtime
+            .run(Scenario::scenario_1().with_num_frames(120).stream())
+            .expect("run completes")
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43), "different seeds should differ somewhere");
+}
+
+#[test]
+fn identical_contexts_produce_identical_baseline_runs() {
+    let ctx_a = ExperimentContext::quick(7);
+    let ctx_b = ExperimentContext::quick(7);
+    let scenario_a = ctx_a.scaled(Scenario::scenario_2());
+    let scenario_b = ctx_b.scaled(Scenario::scenario_2());
+    assert_eq!(
+        ctx_a.run_marlin(&scenario_a, MarlinConfig::standard()).unwrap(),
+        ctx_b.run_marlin(&scenario_b, MarlinConfig::standard()).unwrap()
+    );
+    assert_eq!(
+        ctx_a.run_oracle(&scenario_a, OracleObjective::Energy).unwrap(),
+        ctx_b.run_oracle(&scenario_b, OracleObjective::Energy).unwrap()
+    );
+    assert_eq!(
+        ctx_a.run_shift(&scenario_a, paper_shift_config()).unwrap(),
+        ctx_b.run_shift(&scenario_b, paper_shift_config()).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IoU is symmetric, bounded and equals 1 only for identical boxes.
+    #[test]
+    fn iou_properties(
+        ax in -50.0..150.0f64, ay in -50.0..150.0f64,
+        aw in 1.0..80.0f64, ah in 1.0..80.0f64,
+        bx in -50.0..150.0f64, by in -50.0..150.0f64,
+        bw in 1.0..80.0f64, bh in 1.0..80.0f64,
+    ) {
+        let a = BoundingBox::new(ax, ay, aw, ah);
+        let b = BoundingBox::new(bx, by, bw, bh);
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+    }
+
+    /// NCC stays within [-1, 1] and self-correlation is 1 for any textured image.
+    #[test]
+    fn ncc_properties(seed in 0u64..1000, width in 4usize..32, height in 4usize..32) {
+        let img = GrayImage::from_fn(width, height, |x, y| {
+            let v = (x as f32 * 13.7 + y as f32 * 7.3 + seed as f32).sin() * 0.5 + 0.5;
+            v.clamp(0.0, 1.0)
+        });
+        let other = GrayImage::from_fn(width, height, |x, y| {
+            let v = (x as f32 * 3.1 + y as f32 * 11.9 + seed as f32 * 2.0).cos() * 0.5 + 0.5;
+            v.clamp(0.0, 1.0)
+        });
+        let self_corr = shift_video::ncc(&img, &img).unwrap();
+        let cross = shift_video::ncc(&img, &other).unwrap();
+        prop_assert!((self_corr - 1.0).abs() < 1e-6);
+        prop_assert!((-1.0..=1.0).contains(&cross));
+    }
+
+    /// The detection response never reports IoU outside [0, 1] against truth,
+    /// and confidence stays in [0, 1], for any scenario frame and model.
+    #[test]
+    fn response_model_outputs_are_bounded(
+        seed in 0u64..500,
+        frame_index in 0usize..120,
+        model_index in 0usize..8,
+    ) {
+        let zoo = ModelZoo::standard();
+        let spec = &zoo.specs()[model_index];
+        let response = ResponseModel::new(seed);
+        let scenario = Scenario::scenario_5().with_num_frames(120).with_seed(seed);
+        let frame = scenario.stream().frame_at(frame_index).expect("frame exists");
+        let result = response.infer(spec, &frame);
+        let iou = result.iou_against(frame.truth.as_ref());
+        prop_assert!((0.0..=1.0).contains(&iou));
+        prop_assert!((0.0..=1.0).contains(&result.confidence()));
+    }
+
+    /// Run summaries preserve basic accounting identities for arbitrary
+    /// record sets.
+    #[test]
+    fn summary_invariants(ious in proptest::collection::vec(0.0..1.0f64, 1..50)) {
+        use shift_metrics::{FrameRecord, RunSummary};
+        use shift_models::ModelId;
+        use shift_soc::AcceleratorId;
+        let records: Vec<FrameRecord> = ious
+            .iter()
+            .enumerate()
+            .map(|(i, &iou)| {
+                FrameRecord::new(i, ModelId::YoloV7, AcceleratorId::Gpu, iou, 0.1, 1.0, i % 7 == 0)
+            })
+            .collect();
+        let summary = RunSummary::from_records("prop", &records);
+        prop_assert_eq!(summary.frames, records.len());
+        prop_assert!((0.0..=1.0).contains(&summary.mean_iou));
+        prop_assert!((0.0..=1.0).contains(&summary.success_rate));
+        prop_assert!(summary.total_energy_j >= summary.mean_energy_j);
+        prop_assert!(summary.pairs_used == 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Integration tests over the experiment harness: every paper artifact can be
+//! regenerated end to end, and the resulting tables are well formed.
+
+use shift_experiments::{fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4};
+use shift_experiments::ExperimentContext;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static ExperimentContext {
+    static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+    CTX.get_or_init(|| ExperimentContext::quick(2024))
+}
+
+#[test]
+fn table1_regenerates() {
+    let table = table1::generate(ctx());
+    assert_eq!(table.row_count(), 3);
+    assert!(table.to_markdown().contains("YoloV7"));
+}
+
+#[test]
+fn table4_regenerates() {
+    let table = table4::generate(ctx());
+    assert_eq!(table.row_count(), 8);
+    assert!(table.to_text().contains("SSD Resnet50"));
+}
+
+#[test]
+fn table3_regenerates_with_all_methodologies() {
+    let table = table3::generate(ctx()).expect("table 3 generates");
+    assert_eq!(table.row_count(), 6);
+    let md = table.to_markdown();
+    for label in ["Marlin", "Marlin Tiny", "SHIFT", "Oracle E", "Oracle A", "Oracle L"] {
+        assert!(md.contains(label), "missing row {label}");
+    }
+}
+
+#[test]
+fn fig1_and_fig2_regenerate() {
+    let fig1 = fig1::generate(ctx());
+    assert_eq!(fig1.row_count(), 8);
+    let fig2 = fig2::generate(ctx()).expect("fig 2 generates");
+    assert_eq!(fig2.row_count(), 5);
+}
+
+#[test]
+fn fig3_and_fig4_regenerate() {
+    let fig3 = fig3::generate(ctx()).expect("fig 3 generates");
+    assert!(fig3.title().contains("Scenario 1"));
+    let fig4 = fig4::generate(ctx()).expect("fig 4 generates");
+    assert!(fig4.title().contains("Scenario 2"));
+}
+
+#[test]
+fn fig5_quick_grid_regenerates() {
+    let table = fig5::generate_with_grid(ctx(), &fig5::SweepGrid::quick())
+        .expect("fig 5 generates");
+    assert_eq!(table.row_count(), 6, "one row per swept parameter");
+}
+
+#[test]
+fn headline_ratios_regenerate() {
+    let table = headline::generate(ctx()).expect("headline generates");
+    assert_eq!(table.row_count(), 4);
+    assert!(table.to_markdown().contains("7.5x"));
+}
+
+#[test]
+fn paper_sweep_grid_matches_published_configuration_count() {
+    assert_eq!(fig5::SweepGrid::paper().len(), 1860);
+}

@@ -1,0 +1,170 @@
+//! Failure injection: thermal trips, accelerators taken offline, degraded
+//! networks and memory pressure. The runtimes are expected to either degrade
+//! gracefully (when a policy exists) or surface a precise error (when the
+//! failure removes the only viable resource).
+
+use shift_baselines::{OffloadConfig, OffloadRuntime, SingleModelRuntime};
+use shift_core::{ShiftConfig, ShiftRuntime};
+use shift_experiments::workloads::paper_shift_config;
+use shift_experiments::ExperimentContext;
+use shift_models::{ModelId, ModelZoo, ResponseModel};
+use shift_soc::{
+    AcceleratorId, ExecutionEngine, NetworkLink, Platform, SocError, ThermalConfig, ThermalModel,
+};
+use shift_video::Scenario;
+
+fn base_engine(seed: u64) -> ExecutionEngine {
+    ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(seed),
+    )
+}
+
+#[test]
+fn shift_completes_when_restricted_to_non_gpu_accelerators() {
+    // Simulates the GPU being reserved for another workload (or fenced off
+    // after a fault): SHIFT is only allowed the DLAs and the OAK-D.
+    let ctx = ExperimentContext::quick(41);
+    let scenario = ctx.scaled(Scenario::scenario_2());
+    let config = paper_shift_config().with_allowed_accelerators(vec![
+        AcceleratorId::Dla0,
+        AcceleratorId::Dla1,
+        AcceleratorId::OakD,
+    ]);
+    let records = ctx.run_shift(&scenario, config).expect("run completes");
+    assert_eq!(records.len(), scenario.num_frames());
+    assert!(records.iter().all(|r| r.accelerator != AcceleratorId::Gpu));
+    let mean_iou = records.iter().map(|r| r.iou).sum::<f64>() / records.len() as f64;
+    assert!(mean_iou > 0.2, "DLA-only SHIFT still detects, got {mean_iou}");
+}
+
+#[test]
+fn shift_with_no_allowed_accelerators_fails_fast() {
+    let ctx = ExperimentContext::quick(42);
+    let config = paper_shift_config().with_allowed_accelerators(Vec::new());
+    let err = ShiftRuntime::new(ctx.engine(), ctx.characterization(), config).err();
+    assert!(err.is_some(), "empty accelerator set cannot schedule anything");
+}
+
+#[test]
+fn thermal_trip_surfaces_as_accelerator_offline() {
+    let mut engine =
+        base_engine(7).with_thermal_model(ThermalModel::new(ThermalConfig::stress_test()));
+    let mut runtime = SingleModelRuntime::new(engine.clone(), ModelId::YoloV7, AcceleratorId::Gpu)
+        .expect("pair loads");
+    // Run the hottest model in a loop; the stress-test thermal config must
+    // eventually trip the GPU and the error must identify the GPU.
+    let frames: Vec<_> = Scenario::scenario_1().with_num_frames(2000).stream().collect();
+    let mut tripped = false;
+    for frame in &frames {
+        match runtime.process_frame(frame) {
+            Ok(_) => {}
+            Err(SocError::AcceleratorOffline(id)) => {
+                assert_eq!(id, AcceleratorId::Gpu);
+                tripped = true;
+                break;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(tripped, "sustained YoloV7 inference must trip the stress-test thermal model");
+
+    // The same failure does not poison other engines: a fresh DLA runtime on
+    // the same (untripped) platform instance still works.
+    engine.set_accelerator_online(AcceleratorId::Gpu, false);
+    let mut dla_runtime =
+        SingleModelRuntime::new(engine, ModelId::YoloV7Tiny, AcceleratorId::Dla0).unwrap();
+    let record = dla_runtime.process_frame(&frames[0]).unwrap();
+    assert_eq!(record.accelerator, AcceleratorId::Dla0);
+}
+
+#[test]
+fn administratively_offline_accelerator_rejects_work_until_restored() {
+    let mut engine = base_engine(9);
+    engine
+        .load_model(ModelId::YoloV7Tiny, AcceleratorId::OakD)
+        .unwrap();
+    engine.set_accelerator_online(AcceleratorId::OakD, false);
+    let frame = Scenario::scenario_3().stream().next().unwrap();
+    let err = engine
+        .run_inference(ModelId::YoloV7Tiny, AcceleratorId::OakD, &frame)
+        .unwrap_err();
+    assert!(matches!(err, SocError::AcceleratorOffline(AcceleratorId::OakD)));
+    engine.set_accelerator_online(AcceleratorId::OakD, true);
+    assert!(engine
+        .run_inference(ModelId::YoloV7Tiny, AcceleratorId::OakD, &frame)
+        .is_ok());
+}
+
+#[test]
+fn offload_survives_a_complete_outage_window() {
+    // A link that is down for the first 35 of every 200 frames: the runtime
+    // must produce a record for every frame and keep detecting during the
+    // outage through its local fallback model.
+    let config = OffloadConfig {
+        link: NetworkLink::degraded(),
+        local_fallback: Some(ModelId::YoloV7Tiny),
+        ..OffloadConfig::wifi()
+    };
+    let mut runtime = OffloadRuntime::new(base_engine(13), config).unwrap();
+    let records = runtime
+        .run(Scenario::scenario_3().with_num_frames(250).stream())
+        .unwrap();
+    assert_eq!(records.len(), 250);
+    let stats = runtime.stats();
+    assert!(stats.offloaded_frames > 0);
+    assert!(stats.fallback_frames > 0);
+    assert_eq!(stats.blind_frames, 0, "fallback model prevents blind frames");
+    let outage_records: Vec<_> = records
+        .iter()
+        .filter(|r| r.accelerator == AcceleratorId::Gpu)
+        .collect();
+    let outage_iou =
+        outage_records.iter().map(|r| r.iou).sum::<f64>() / outage_records.len().max(1) as f64;
+    assert!(outage_iou > 0.2, "fallback detections still land, got {outage_iou}");
+}
+
+#[test]
+fn memory_pressure_forces_eviction_but_never_overcommits() {
+    let mut engine = base_engine(17);
+    // Fill the GPU pool, then demand one more large model: the engine refuses
+    // rather than overcommitting, and freeing capacity resolves the pressure.
+    engine.load_model(ModelId::YoloV7E6E, AcceleratorId::Gpu).unwrap();
+    engine.load_model(ModelId::YoloV7X, AcceleratorId::Gpu).unwrap();
+    engine
+        .load_model(ModelId::SsdResnet50, AcceleratorId::Gpu)
+        .unwrap();
+    let err = engine
+        .load_model(ModelId::YoloV7, AcceleratorId::Gpu)
+        .unwrap_err();
+    assert!(matches!(err, SocError::OutOfMemory { .. }));
+    let pool = engine.pool(AcceleratorId::Gpu).unwrap();
+    assert!(pool.used_mb() <= pool.capacity_mb());
+    assert!(engine.unload_model(ModelId::YoloV7E6E, AcceleratorId::Gpu));
+    assert!(engine.load_model(ModelId::YoloV7, AcceleratorId::Gpu).is_ok());
+    let pool = engine.pool(AcceleratorId::Gpu).unwrap();
+    assert!(pool.used_mb() <= pool.capacity_mb());
+}
+
+#[test]
+fn shift_keeps_running_when_the_platform_throttles() {
+    // With the realistic Xavier thermal model attached, the evaluation
+    // scenarios are short enough that SHIFT finishes without tripping, but
+    // latency may drift upward as the die heats. The run must stay green and
+    // deterministic in its decisions.
+    let ctx = ExperimentContext::quick(19);
+    let scenario = ctx.scaled(Scenario::scenario_1());
+    let engine = ctx
+        .engine()
+        .with_thermal_model(ThermalModel::new(ThermalConfig::xavier_nx()));
+    let mut runtime =
+        ShiftRuntime::new(engine, ctx.characterization(), ShiftConfig::paper_defaults()).unwrap();
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    assert_eq!(outcomes.len(), scenario.num_frames());
+    let thermal = runtime.engine().thermal().expect("thermal model attached");
+    for accelerator in [AcceleratorId::Gpu, AcceleratorId::Dla0, AcceleratorId::Dla1] {
+        assert!(!thermal.is_tripped(accelerator), "{accelerator} tripped");
+        assert!(thermal.temperature(accelerator) >= 25.0);
+    }
+}

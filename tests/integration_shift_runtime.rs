@@ -1,0 +1,123 @@
+//! Cross-crate integration tests of the full SHIFT pipeline: video substrate
+//! -> model zoo -> SoC simulator -> characterization -> confidence graph ->
+//! scheduler -> dynamic model loader -> metrics.
+
+use shift_core::{characterize, ShiftConfig, ShiftRuntime};
+use shift_experiments::outcome_to_record;
+use shift_metrics::{RunSummary, Timeline};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{AcceleratorId, ExecutionEngine, Platform};
+use shift_video::{CharacterizationDataset, Scenario};
+
+fn build_runtime(seed: u64) -> ShiftRuntime {
+    let engine = ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(seed),
+    );
+    let characterization = characterize(&engine, &CharacterizationDataset::generate(250, seed));
+    ShiftRuntime::new(engine, &characterization, ShiftConfig::paper_defaults())
+        .expect("runtime builds")
+}
+
+#[test]
+fn shift_completes_every_evaluation_scenario() {
+    for scenario in Scenario::evaluation_set() {
+        let scenario = scenario.with_num_frames(80);
+        let mut runtime = build_runtime(11);
+        let outcomes = runtime.run(scenario.stream()).expect("run completes");
+        assert_eq!(outcomes.len(), 80, "{}", scenario.name());
+        for outcome in &outcomes {
+            assert!(outcome.latency_s > 0.0);
+            assert!(outcome.energy_j > 0.0);
+            assert!((0.0..=1.0).contains(&outcome.iou));
+        }
+    }
+}
+
+#[test]
+fn shift_stays_within_memory_budgets() {
+    let mut runtime = build_runtime(13);
+    let scenario = Scenario::scenario_1().with_num_frames(250);
+    runtime.run(scenario.stream()).expect("run completes");
+    for accelerator in AcceleratorId::ALL {
+        if let Ok(pool) = runtime.engine().pool(accelerator) {
+            assert!(
+                pool.used_mb() <= pool.capacity_mb() + 1e-9,
+                "{accelerator} pool overflow: {} / {}",
+                pool.used_mb(),
+                pool.capacity_mb()
+            );
+        }
+    }
+}
+
+#[test]
+fn shift_only_uses_allowed_accelerators() {
+    let mut runtime = build_runtime(17);
+    let scenario = Scenario::scenario_4().with_num_frames(120);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    let allowed = ShiftConfig::paper_defaults().allowed_accelerators;
+    for outcome in outcomes {
+        assert!(
+            allowed.contains(&outcome.pair.accelerator),
+            "scheduler used a disallowed accelerator: {}",
+            outcome.pair.accelerator
+        );
+    }
+}
+
+#[test]
+fn shift_recovers_detection_after_target_reappears() {
+    // Scenario 2 contains windows where the target leaves the frame; after it
+    // returns, SHIFT must produce successful detections again.
+    let mut runtime = build_runtime(19);
+    let scenario = Scenario::scenario_2().with_num_frames(300);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    let last_quarter = &outcomes[225..];
+    let successes = last_quarter.iter().filter(|o| o.success).count();
+    assert!(
+        successes > last_quarter.len() / 3,
+        "SHIFT should recover after the absence window: {successes}/{} successes",
+        last_quarter.len()
+    );
+}
+
+#[test]
+fn scheduler_overhead_budget_holds_in_wall_clock_time() {
+    // The paper claims the scheduling decision costs < 2 ms per frame. Check
+    // the actual wall-clock cost of the full per-frame bookkeeping (decision,
+    // loader, metrics) excluding the simulated inference, with a generous
+    // margin for debug builds and CI noise.
+    let mut runtime = build_runtime(23);
+    let frames: Vec<_> = Scenario::scenario_3().with_num_frames(100).stream().collect();
+    // Warm up (initial load happens on the first frame).
+    runtime.process_frame(&frames[0]).expect("frame processes");
+    let start = std::time::Instant::now();
+    for frame in &frames[1..] {
+        runtime.process_frame(frame).expect("frame processes");
+    }
+    let per_frame = start.elapsed().as_secs_f64() / (frames.len() - 1) as f64;
+    assert!(
+        per_frame < 0.050,
+        "per-frame pipeline cost {per_frame:.4}s is far above the expected budget"
+    );
+}
+
+#[test]
+fn run_summary_round_trips_through_metrics() {
+    let mut runtime = build_runtime(29);
+    let scenario = Scenario::scenario_6().with_num_frames(150);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    let records: Vec<_> = outcomes.iter().map(outcome_to_record).collect();
+    let summary = RunSummary::from_records("SHIFT", &records);
+    let timeline = Timeline::new("SHIFT", records);
+    assert_eq!(summary.frames, 150);
+    assert_eq!(timeline.len(), 150);
+    assert_eq!(
+        summary.model_swaps,
+        timeline.records().iter().filter(|r| r.swapped).count() as u64
+    );
+    assert!(summary.mean_energy_j > 0.0);
+    assert!(summary.pairs_used >= 1);
+}
