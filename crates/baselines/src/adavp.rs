@@ -251,7 +251,10 @@ mod tests {
         let single_records = single.run(scenario.stream()).unwrap();
         let a: f64 = adavp_records.iter().map(|r| r.energy_j).sum();
         let s: f64 = single_records.iter().map(|r| r.energy_j).sum();
-        assert!(a < s, "AdaVP {a:.1} J should undercut single-model {s:.1} J");
+        assert!(
+            a < s,
+            "AdaVP {a:.1} J should undercut single-model {s:.1} J"
+        );
     }
 
     #[test]

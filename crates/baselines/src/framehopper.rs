@@ -214,7 +214,10 @@ mod tests {
             .run(Scenario::scenario_3().with_num_frames(120).stream())
             .unwrap();
         assert_eq!(records.len(), 120);
-        assert!(hopper.skipped_frames() > 0, "hovering target should allow skips");
+        assert!(
+            hopper.skipped_frames() > 0,
+            "hovering target should allow skips"
+        );
         assert_eq!(
             hopper.skipped_frames() + hopper.processed_frames(),
             records.len() as u64

@@ -232,9 +232,7 @@ mod tests {
             .run(Scenario::scenario_2().with_num_frames(80).stream())
             .unwrap();
         assert!(records.iter().all(|r| r.model == ModelId::YoloV7Tiny));
-        assert!(records
-            .iter()
-            .all(|r| r.accelerator == AcceleratorId::Gpu));
+        assert!(records.iter().all(|r| r.accelerator == AcceleratorId::Gpu));
         assert!(records.iter().all(|r| !r.swapped));
     }
 

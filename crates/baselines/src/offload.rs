@@ -295,7 +295,11 @@ mod tests {
         assert!(!offloaded.is_empty());
         let remote_mean =
             offloaded.iter().map(|r| r.latency_s).sum::<f64>() / offloaded.len() as f64;
-        let local_mean = local_records.iter().skip(1).map(|r| r.latency_s).sum::<f64>()
+        let local_mean = local_records
+            .iter()
+            .skip(1)
+            .map(|r| r.latency_s)
+            .sum::<f64>()
             / (local_records.len() - 1) as f64;
         assert!(
             remote_mean > local_mean,

@@ -110,8 +110,7 @@ impl OracleRuntime {
         for &(model, accelerator) in &self.pairs {
             probes.push(self.engine.probe_inference(model, accelerator, frame)?);
         }
-        let iou_of =
-            |report: &InferenceReport| report.result.iou_against(frame.truth.as_ref());
+        let iou_of = |report: &InferenceReport| report.result.iou_against(frame.truth.as_ref());
 
         let qualifying: Vec<&InferenceReport> =
             probes.iter().filter(|r| iou_of(r) >= 0.5).collect();

@@ -48,7 +48,10 @@ fn graph_vs_passthrough(c: &mut Criterion) {
 
 fn similarity_gate_on_vs_off(c: &mut Criterion) {
     let characterization = bench_characterization(400, 3);
-    let frames: Vec<_> = Scenario::scenario_3().with_num_frames(128).stream().collect();
+    let frames: Vec<_> = Scenario::scenario_3()
+        .with_num_frames(128)
+        .stream()
+        .collect();
     let mut group = c.benchmark_group("ablations/similarity_gate");
     group.sample_size(10);
     for (label, goal) in [("gate_on", 0.25f64), ("gate_off", 1.0f64)] {

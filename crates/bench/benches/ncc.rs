@@ -25,17 +25,12 @@ fn ncc_frame_sizes(c: &mut Criterion) {
 fn ncc_bbox_regions(c: &mut Criterion) {
     let scenario = Scenario::scenario_1().with_num_frames(4);
     let frames: Vec<_> = scenario.stream().collect();
-    let a = frames[0].truth.unwrap_or(BoundingBox::new(10.0, 10.0, 16.0, 12.0));
+    let a = frames[0]
+        .truth
+        .unwrap_or(BoundingBox::new(10.0, 10.0, 16.0, 12.0));
     let b_box = frames[1].truth.unwrap_or(a);
     c.bench_function("ncc/bbox_regions", |bench| {
-        bench.iter(|| {
-            black_box(ncc_regions(
-                &frames[0].image,
-                &a,
-                &frames[1].image,
-                &b_box,
-            ))
-        });
+        bench.iter(|| black_box(ncc_regions(&frames[0].image, &a, &frames[1].image, &b_box)));
     });
 }
 

@@ -20,12 +20,8 @@ use std::hint::black_box;
 fn scheduler_decision(c: &mut Criterion) {
     let characterization = bench_characterization(400, 7);
     let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
-    let mut scheduler = Scheduler::new(
-        ShiftConfig::paper_defaults(),
-        &characterization,
-        graph,
-    )
-    .expect("scheduler builds");
+    let mut scheduler = Scheduler::new(ShiftConfig::paper_defaults(), &characterization, graph)
+        .expect("scheduler builds");
     let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
 
     let mut group = c.benchmark_group("scheduler_overhead");
@@ -53,7 +49,10 @@ fn context_similarity(c: &mut Criterion) {
 
 fn full_frame_loop(c: &mut Criterion) {
     let characterization = bench_characterization(400, 7);
-    let frames: Vec<_> = Scenario::scenario_1().with_num_frames(256).stream().collect();
+    let frames: Vec<_> = Scenario::scenario_1()
+        .with_num_frames(256)
+        .stream()
+        .collect();
 
     c.bench_function("scheduler_overhead/process_frame", |b| {
         let mut runtime = ShiftRuntime::new(

@@ -36,10 +36,20 @@ fn table3_per_methodology(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables/table3_scenario1");
     group.sample_size(10);
     group.bench_function("shift", |b| {
-        b.iter(|| black_box(ctx.run_shift(&scenario, paper_shift_config()).expect("runs")));
+        b.iter(|| {
+            black_box(
+                ctx.run_shift(&scenario, paper_shift_config())
+                    .expect("runs"),
+            )
+        });
     });
     group.bench_function("marlin", |b| {
-        b.iter(|| black_box(ctx.run_marlin(&scenario, MarlinConfig::standard()).expect("runs")));
+        b.iter(|| {
+            black_box(
+                ctx.run_marlin(&scenario, MarlinConfig::standard())
+                    .expect("runs"),
+            )
+        });
     });
     group.bench_function("single_yolov7_gpu", |b| {
         b.iter(|| {
@@ -50,7 +60,12 @@ fn table3_per_methodology(c: &mut Criterion) {
         });
     });
     group.bench_function("oracle_energy", |b| {
-        b.iter(|| black_box(ctx.run_oracle(&scenario, OracleObjective::Energy).expect("runs")));
+        b.iter(|| {
+            black_box(
+                ctx.run_oracle(&scenario, OracleObjective::Energy)
+                    .expect("runs"),
+            )
+        });
     });
     group.finish();
 }

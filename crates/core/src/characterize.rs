@@ -76,7 +76,10 @@ impl Characterization {
 /// property of the network), so each model is probed once per frame; latency,
 /// power and energy are characterized per accelerator from the engine's
 /// execution model.
-pub fn characterize(engine: &ExecutionEngine, dataset: &CharacterizationDataset) -> Characterization {
+pub fn characterize(
+    engine: &ExecutionEngine,
+    dataset: &CharacterizationDataset,
+) -> Characterization {
     let zoo = engine.zoo().clone();
     let accelerators = engine.platform().accelerator_ids();
 
@@ -231,7 +234,7 @@ mod tests {
     #[test]
     fn success_rates_are_probabilities() {
         let c = small_characterization();
-        for (_, t) in &c.traits {
+        for t in c.traits.values() {
             assert!((0.0..=1.0).contains(&t.success_rate));
             assert!((0.0..=1.0).contains(&t.mean_iou));
             assert!((0.0..=1.0).contains(&t.mean_confidence));

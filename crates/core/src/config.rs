@@ -9,11 +9,11 @@ use shift_soc::AcceleratorId;
 /// latency when scoring candidate models.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Knobs {
-    /// Weight of the accuracy prediction (W[0] in Algorithm 1).
+    /// Weight of the accuracy prediction (W\[0\] in Algorithm 1).
     pub accuracy: f64,
-    /// Weight of the inverted energy trait (W[1]).
+    /// Weight of the inverted energy trait (W\[1\]).
     pub energy: f64,
-    /// Weight of the inverted latency trait (W[2]).
+    /// Weight of the inverted latency trait (W\[2\]).
     pub latency: f64,
 }
 

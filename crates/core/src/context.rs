@@ -51,9 +51,7 @@ impl ContextDetector {
         };
         let image_ncc = ncc(last_image, &frame.image).unwrap_or(0.0);
         let bbox_ncc = match (&self.last_bbox, bbox) {
-            (Some(prev), Some(current)) => {
-                ncc_regions(last_image, prev, &frame.image, current)
-            }
+            (Some(prev), Some(current)) => ncc_regions(last_image, prev, &frame.image, current),
             _ => 0.0,
         };
         image_ncc.min(bbox_ncc).clamp(-1.0, 1.0)
@@ -151,7 +149,10 @@ mod tests {
 
     #[test]
     fn similarity_is_bounded() {
-        let frames: Vec<_> = Scenario::scenario_5().with_num_frames(30).stream().collect();
+        let frames: Vec<_> = Scenario::scenario_5()
+            .with_num_frames(30)
+            .stream()
+            .collect();
         let mut detector = ContextDetector::new();
         for frame in &frames {
             let s = detector.similarity(frame, frame.truth.as_ref());

@@ -5,7 +5,7 @@
 //!
 //! SHIFT is built from four cooperating pieces, each in its own module:
 //!
-//! * [`characterize`] — the offline characterization pass that measures every
+//! * [`characterize`](mod@characterize) — the offline characterization pass that measures every
 //!   model's accuracy, confidence behaviour, latency, energy and load cost on
 //!   a validation dataset (paper §III-A, "ODM Trait Identification").
 //! * [`graph`] — the *confidence graph*: a lookup structure that converts the
@@ -44,6 +44,8 @@
 //! # Ok::<(), shift_core::ShiftError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod characterize;
 pub mod config;
 pub mod context;
@@ -60,8 +62,7 @@ pub use context::ContextDetector;
 pub use graph::{ConfidenceGraph, GraphConfig, Prediction};
 pub use loader::{DynamicModelLoader, LoadOutcome};
 pub use predictor::{
-    prediction_mae, AccuracyPredictor, EnsemblePredictor, PassthroughPredictor,
-    RegressionPredictor,
+    prediction_mae, AccuracyPredictor, EnsemblePredictor, PassthroughPredictor, RegressionPredictor,
 };
 pub use runtime::{FrameOutcome, ShiftRuntime};
 pub use scheduler::{CandidatePair, Decision, Scheduler};

@@ -346,7 +346,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_a_line() {
-        let points: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 / 20.0, 0.5 * i as f64 / 20.0 + 0.1)).collect();
+        let points: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 / 20.0, 0.5 * i as f64 / 20.0 + 0.1))
+            .collect();
         let fit = LinearFit::fit(&points);
         assert!((fit.slope - 0.5).abs() < 1e-9);
         assert!((fit.intercept - 0.1).abs() < 1e-9);
@@ -398,7 +400,8 @@ mod tests {
         let graph = ConfidenceGraph::build(&samples, GraphConfig::paper_defaults());
         let passthrough = PassthroughPredictor::from_samples(&samples);
         let graph_mae = prediction_mae(&graph, &samples).expect("graph evaluable");
-        let passthrough_mae = prediction_mae(&passthrough, &samples).expect("passthrough evaluable");
+        let passthrough_mae =
+            prediction_mae(&passthrough, &samples).expect("passthrough evaluable");
         assert!(
             graph_mae < passthrough_mae,
             "confidence graph ({graph_mae:.3}) should out-predict raw confidence passthrough \
@@ -420,7 +423,10 @@ mod tests {
     fn ensemble_averages_members() {
         let samples = samples();
         let ensemble = EnsemblePredictor::new(vec![
-            Box::new(ConfidenceGraph::build(&samples, GraphConfig::paper_defaults())),
+            Box::new(ConfidenceGraph::build(
+                &samples,
+                GraphConfig::paper_defaults(),
+            )),
             Box::new(PassthroughPredictor::from_samples(&samples)),
         ]);
         assert_eq!(ensemble.len(), 2);

@@ -155,7 +155,11 @@ impl ShiftRuntime {
         let mut load_time = std::mem::take(&mut self.pending_load_time_s);
         let mut load_energy = std::mem::take(&mut self.pending_load_energy_j);
         let mut swapped = false;
-        if decision.pair != self.current || !self.engine.is_loaded(decision.pair.model, decision.pair.accelerator) {
+        if decision.pair != self.current
+            || !self
+                .engine
+                .is_loaded(decision.pair.model, decision.pair.accelerator)
+        {
             let outcome = self.loader.ensure_loaded(&mut self.engine, decision.pair)?;
             load_time += outcome.load_time_s;
             load_energy += outcome.load_energy_j;
@@ -170,9 +174,9 @@ impl ShiftRuntime {
         self.pairs_used.insert(decision.pair);
 
         // --- Inference. ---
-        let report = self
-            .engine
-            .run_inference(decision.pair.model, decision.pair.accelerator, frame)?;
+        let report =
+            self.engine
+                .run_inference(decision.pair.model, decision.pair.accelerator, frame)?;
         let detection = report.result.detection;
         let confidence = report.result.confidence();
         let iou = report.result.iou_against(frame.truth.as_ref());
@@ -279,16 +283,13 @@ mod tests {
         let later = &outcomes[60..];
         let yolo_full_gpu = later
             .iter()
-            .filter(|o| {
-                o.pair.model == ModelId::YoloV7 && o.pair.accelerator == AcceleratorId::Gpu
-            })
+            .filter(|o| o.pair.model == ModelId::YoloV7 && o.pair.accelerator == AcceleratorId::Gpu)
             .count();
         assert!(
             yolo_full_gpu < later.len(),
             "SHIFT should not stay pinned to YoloV7-on-GPU on an easy scenario"
         );
-        let mean_energy: f64 =
-            later.iter().map(|o| o.energy_j).sum::<f64>() / later.len() as f64;
+        let mean_energy: f64 = later.iter().map(|o| o.energy_j).sum::<f64>() / later.len() as f64;
         assert!(
             mean_energy < 1.9,
             "steady-state energy should drop below the YoloV7-GPU cost, got {mean_energy}"

@@ -151,10 +151,14 @@ impl Scheduler {
     pub fn initial_pair(&self) -> CandidatePair {
         let mut best: Option<(f64, CandidatePair)> = None;
         for pair in &self.pairs {
-            let accuracy = self.fallback_accuracy.get(&pair.model).copied().unwrap_or(0.0);
+            let accuracy = self
+                .fallback_accuracy
+                .get(&pair.model)
+                .copied()
+                .unwrap_or(0.0);
             let efficiency = self.energy_score.get(pair).copied().unwrap_or(0.0);
             let key = accuracy + 1e-3 * efficiency;
-            if best.map_or(true, |(k, _)| key > k) {
+            if best.is_none_or(|(k, _)| key > k) {
                 best = Some((key, *pair));
             }
         }
@@ -244,8 +248,7 @@ impl Scheduler {
             .map(|(_, score)| *score);
         let pair = match current_score {
             Some(incumbent)
-                if best.0 != current
-                    && best.1 <= incumbent * (1.0 + self.config.switch_margin) =>
+                if best.0 != current && best.1 <= incumbent * (1.0 + self.config.switch_margin) =>
             {
                 current
             }
@@ -359,9 +362,8 @@ mod tests {
         // Force a re-schedule with a high confidence (hard context unknown).
         let energy_pick = energy_sched.schedule(current, 0.8, 0.0);
         let accuracy_pick = accuracy_sched.schedule(current, 0.8, 0.0);
-        let energy_of = |pair: &CandidatePair, s: &Scheduler| {
-            s.energy_score.get(pair).copied().unwrap_or(0.0)
-        };
+        let energy_of =
+            |pair: &CandidatePair, s: &Scheduler| s.energy_score.get(pair).copied().unwrap_or(0.0);
         assert!(
             energy_of(&energy_pick.pair, &energy_sched)
                 >= energy_of(&accuracy_pick.pair, &accuracy_sched),

@@ -15,10 +15,10 @@
 //! `ablations`). `--quick` uses the reduced dataset and scaled-down scenarios
 //! (useful for smoke tests); `--seed N` changes the simulation seed.
 
+use shift_experiments::ExperimentContext;
 use shift_experiments::{
     ablations, extended, fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4,
 };
-use shift_experiments::ExperimentContext;
 use std::process::ExitCode;
 
 const PAPER_ARTIFACTS: [&str; 9] = [

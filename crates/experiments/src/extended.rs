@@ -35,7 +35,10 @@ pub fn compute(ctx: &ExperimentContext) -> Result<Vec<RunSummary>, ExperimentErr
 
     let mut per_method =
         |label: &str,
-         run: &mut dyn FnMut(&Scenario) -> Result<Vec<shift_metrics::FrameRecord>, ExperimentError>|
+         run: &mut dyn FnMut(
+            &Scenario,
+        )
+            -> Result<Vec<shift_metrics::FrameRecord>, ExperimentError>|
          -> Result<(), ExperimentError> {
             let mut rows = Vec::new();
             for scenario in &scenarios {
@@ -49,8 +52,12 @@ pub fn compute(ctx: &ExperimentContext) -> Result<Vec<RunSummary>, ExperimentErr
             Ok(())
         };
 
-    per_method("Marlin", &mut |s| ctx.run_marlin(s, MarlinConfig::standard()))?;
-    per_method("Marlin Tiny", &mut |s| ctx.run_marlin(s, MarlinConfig::tiny()))?;
+    per_method("Marlin", &mut |s| {
+        ctx.run_marlin(s, MarlinConfig::standard())
+    })?;
+    per_method("Marlin Tiny", &mut |s| {
+        ctx.run_marlin(s, MarlinConfig::tiny())
+    })?;
     per_method("SHIFT", &mut |s| ctx.run_shift(s, paper_shift_config()))?;
     per_method("Oracle E", &mut |s| {
         ctx.run_oracle(s, OracleObjective::Energy)

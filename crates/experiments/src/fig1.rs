@@ -35,11 +35,19 @@ pub fn points(ctx: &ExperimentContext) -> Vec<EalPoint> {
     let specs: Vec<_> = ctx.zoo().iter().collect();
     let latencies: Vec<f64> = specs
         .iter()
-        .map(|s| s.perf_on(ExecutionTarget::Gpu).map(|p| p.latency_s).unwrap_or(0.0))
+        .map(|s| {
+            s.perf_on(ExecutionTarget::Gpu)
+                .map(|p| p.latency_s)
+                .unwrap_or(0.0)
+        })
         .collect();
     let energies: Vec<f64> = specs
         .iter()
-        .map(|s| s.perf_on(ExecutionTarget::Gpu).map(|p| p.energy_j()).unwrap_or(0.0))
+        .map(|s| {
+            s.perf_on(ExecutionTarget::Gpu)
+                .map(|p| p.energy_j())
+                .unwrap_or(0.0)
+        })
         .collect();
     let (lat_min, lat_max) = bounds(&latencies);
     let (en_min, en_max) = bounds(&energies);

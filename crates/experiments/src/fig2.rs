@@ -118,7 +118,11 @@ mod tests {
         // must not be flat.
         let series = quick_series();
         for s in series.iter() {
-            let max = s.efficiency.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let max = s
+                .efficiency
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             let min = s.efficiency.iter().cloned().fold(f64::INFINITY, f64::min);
             assert!(
                 max > min,

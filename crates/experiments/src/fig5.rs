@@ -195,14 +195,14 @@ pub fn sweep(
         .unwrap_or(4)
         .min(16);
     let chunk_size = configs.len().div_ceil(workers).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (chunk_index, chunk) in configs.chunks(chunk_size).enumerate() {
             let ctx_ref = &*ctx;
             let scenarios_ref = &scenarios;
             handles.push((
                 chunk_index,
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .iter()
                         .map(|config| run_point(ctx_ref, scenarios_ref, config.clone()))
@@ -216,8 +216,7 @@ pub fn sweep(
                 points[chunk_index * chunk_size + offset] = Some(result);
             }
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut out = Vec::with_capacity(configs.len());
     for point in points.into_iter().flatten() {
@@ -336,9 +335,7 @@ mod tests {
         assert!(grid.len() <= 64);
         // No degenerate all-zero-knob configuration survives.
         for config in grid.configurations() {
-            assert!(
-                config.knobs.accuracy + config.knobs.energy + config.knobs.latency > 0.0
-            );
+            assert!(config.knobs.accuracy + config.knobs.energy + config.knobs.latency > 0.0);
         }
     }
 

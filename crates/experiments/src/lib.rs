@@ -47,8 +47,12 @@ pub mod table3;
 pub mod table4;
 pub mod workloads;
 
-use shift_core::{characterize, Characterization, FrameOutcome, ShiftConfig, ShiftError, ShiftRuntime};
-use shift_baselines::{MarlinConfig, MarlinRuntime, OracleObjective, OracleRuntime, SingleModelRuntime};
+use shift_baselines::{
+    MarlinConfig, MarlinRuntime, OracleObjective, OracleRuntime, SingleModelRuntime,
+};
+use shift_core::{
+    characterize, Characterization, FrameOutcome, ShiftConfig, ShiftError, ShiftRuntime,
+};
 use shift_metrics::FrameRecord;
 use shift_models::{ModelId, ModelZoo, ResponseModel};
 use shift_soc::{AcceleratorId, ExecutionEngine, Platform, SocError};
@@ -268,7 +272,12 @@ mod tests {
         let scenarios = ctx.scenarios();
         assert_eq!(scenarios.len(), 6);
         for s in &scenarios {
-            assert!(s.num_frames() <= 220, "{} still has {} frames", s.name(), s.num_frames());
+            assert!(
+                s.num_frames() <= 220,
+                "{} still has {} frames",
+                s.name(),
+                s.num_frames()
+            );
             assert!(s.num_frames() >= 30);
         }
         assert!(ctx.scale() < 0.1);

@@ -1,7 +1,7 @@
 //! Table I — average IoU, inference time, power and energy of three
 //! representative models on the CPU, GPU and DLA.
 
-use crate::{ExperimentContext, workloads::TABLE1_MODELS};
+use crate::{workloads::TABLE1_MODELS, ExperimentContext};
 use shift_metrics::Table;
 use shift_models::ExecutionTarget;
 
@@ -62,8 +62,17 @@ pub fn generate(ctx: &ExperimentContext) -> Table {
     let mut table = Table::new(
         "Table I: single-model statistics on CPU, GPU and DLA",
         &[
-            "Model", "IoU", "Inf CPU (s)", "Inf GPU (s)", "Inf DLA (s)", "Pow CPU (W)",
-            "Pow GPU (W)", "Pow DLA (W)", "E CPU (J)", "E GPU (J)", "E DLA (J)",
+            "Model",
+            "IoU",
+            "Inf CPU (s)",
+            "Inf GPU (s)",
+            "Inf DLA (s)",
+            "Pow CPU (W)",
+            "Pow GPU (W)",
+            "Pow DLA (W)",
+            "E CPU (J)",
+            "E GPU (J)",
+            "E DLA (J)",
         ],
     );
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));

@@ -105,13 +105,13 @@ pub fn compute(ctx: &ExperimentContext) -> Result<Table3Results, ExperimentError
         // Parallelize across scenarios for this methodology.
         let mut results: Vec<Option<Result<RunSummary, ExperimentError>>> =
             (0..scenarios.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (index, scenario) in scenarios.iter().enumerate() {
                 let ctx_ref = &*ctx;
                 handles.push((
                     index,
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         run_methodology(ctx_ref, methodology, scenario).map(|records| {
                             RunSummary::from_records(
                                 format!("{} / {}", methodology.label(), scenario.name()),
@@ -124,8 +124,7 @@ pub fn compute(ctx: &ExperimentContext) -> Result<Table3Results, ExperimentError
             for (index, handle) in handles {
                 results[index] = Some(handle.join().expect("scenario thread panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         let mut summaries = Vec::new();
         for result in results.into_iter().flatten() {
             summaries.push(result?);
@@ -136,10 +135,7 @@ pub fn compute(ctx: &ExperimentContext) -> Result<Table3Results, ExperimentError
     let mut summaries = Vec::new();
     let mut mean_pairs_used = Vec::new();
     for (methodology, scenario_summaries) in &per_scenario {
-        summaries.push(RunSummary::average(
-            methodology.label(),
-            scenario_summaries,
-        ));
+        summaries.push(RunSummary::average(methodology.label(), scenario_summaries));
         mean_pairs_used.push((
             *methodology,
             RunSummary::mean_pairs_used(scenario_summaries),

@@ -63,9 +63,18 @@ pub fn generate(ctx: &ExperimentContext) -> Table {
     let mut table = Table::new(
         "Table IV: accuracy and performance traits of all models",
         &[
-            "Model Name", "Avg IoU", "Success Rate", "Time GPU (s)", "Time DLA (s)",
-            "Time OAK (s)", "Energy GPU (J)", "Energy DLA (J)", "Energy OAK (J)",
-            "Power GPU (W)", "Power DLA (W)", "Power OAK (W)",
+            "Model Name",
+            "Avg IoU",
+            "Success Rate",
+            "Time GPU (s)",
+            "Time DLA (s)",
+            "Time OAK (s)",
+            "Energy GPU (J)",
+            "Energy DLA (J)",
+            "Energy OAK (J)",
+            "Power GPU (W)",
+            "Power DLA (W)",
+            "Power OAK (W)",
         ],
     );
     let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));

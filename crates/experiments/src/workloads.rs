@@ -18,8 +18,7 @@ pub fn paper_shift_config() -> ShiftConfig {
 }
 
 /// The single-model reference pair of the headline claims: YoloV7 on the GPU.
-pub const REFERENCE_SINGLE_MODEL: (ModelId, AcceleratorId) =
-    (ModelId::YoloV7, AcceleratorId::Gpu);
+pub const REFERENCE_SINGLE_MODEL: (ModelId, AcceleratorId) = (ModelId::YoloV7, AcceleratorId::Gpu);
 
 /// The models plotted in Fig. 2 (per-model efficiency timelines). Restricted
 /// to GPU-executable models, like the figure's "Single model object detection

@@ -43,8 +43,7 @@ pub fn success_curve(records: &[FrameRecord], thresholds: &[f64]) -> Vec<Thresho
             let success_rate = if records.is_empty() {
                 0.0
             } else {
-                records.iter().filter(|r| r.iou >= threshold).count() as f64
-                    / records.len() as f64
+                records.iter().filter(|r| r.iou >= threshold).count() as f64 / records.len() as f64
             };
             ThresholdPoint {
                 threshold,
@@ -130,7 +129,15 @@ mod tests {
     use shift_soc::AcceleratorId;
 
     fn record(iou: f64, energy: f64) -> FrameRecord {
-        FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, iou, 0.1, energy, false)
+        FrameRecord::new(
+            0,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            iou,
+            0.1,
+            energy,
+            false,
+        )
     }
 
     #[test]

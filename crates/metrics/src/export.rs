@@ -13,8 +13,7 @@ use crate::summary::RunSummary;
 use std::fmt::Write as _;
 
 /// Header row of [`records_to_csv`].
-pub const RECORD_CSV_HEADER: &str =
-    "frame_index,model,accelerator,iou,latency_s,energy_j,swapped";
+pub const RECORD_CSV_HEADER: &str = "frame_index,model,accelerator,iou,latency_s,energy_j,swapped";
 
 /// Header row of [`summaries_to_csv`].
 pub const SUMMARY_CSV_HEADER: &str = "label,frames,mean_iou,mean_latency_s,mean_energy_j,\
@@ -186,8 +185,24 @@ mod tests {
 
     fn records() -> Vec<FrameRecord> {
         vec![
-            FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.72, 0.13, 1.97, false),
-            FrameRecord::new(1, ModelId::YoloV7Tiny, AcceleratorId::Dla0, 0.55, 0.024, 0.13, true),
+            FrameRecord::new(
+                0,
+                ModelId::YoloV7,
+                AcceleratorId::Gpu,
+                0.72,
+                0.13,
+                1.97,
+                false,
+            ),
+            FrameRecord::new(
+                1,
+                ModelId::YoloV7Tiny,
+                AcceleratorId::Dla0,
+                0.55,
+                0.024,
+                0.13,
+                true,
+            ),
         ]
     }
 

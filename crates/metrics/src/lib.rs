@@ -37,7 +37,9 @@ pub use curve::{
     accuracy_energy_frontier, average_success, run_efficiency, success_curve, FrontierPoint,
     ThresholdPoint,
 };
-pub use export::{records_to_csv, records_to_json, series_to_csv, summaries_to_csv, summaries_to_json};
+pub use export::{
+    records_to_csv, records_to_json, series_to_csv, summaries_to_csv, summaries_to_json,
+};
 pub use record::FrameRecord;
 pub use report::Table;
 pub use stats::{mean, pearson_correlation, percentile, std_dev};

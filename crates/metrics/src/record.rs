@@ -74,7 +74,15 @@ mod tests {
 
     #[test]
     fn clamping_and_flags() {
-        let r = FrameRecord::new(3, ModelId::YoloV7, AcceleratorId::Dla0, 1.5, -1.0, -2.0, true);
+        let r = FrameRecord::new(
+            3,
+            ModelId::YoloV7,
+            AcceleratorId::Dla0,
+            1.5,
+            -1.0,
+            -2.0,
+            true,
+        );
         assert_eq!(r.iou, 1.0);
         assert_eq!(r.latency_s, 0.0);
         assert_eq!(r.energy_j, 0.0);
@@ -86,7 +94,15 @@ mod tests {
     #[test]
     fn success_threshold_is_half() {
         let hit = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.5, 0.1, 1.0, false);
-        let miss = FrameRecord::new(0, ModelId::YoloV7, AcceleratorId::Gpu, 0.49, 0.1, 1.0, false);
+        let miss = FrameRecord::new(
+            0,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            0.49,
+            0.1,
+            1.0,
+            false,
+        );
         assert!(hit.is_success());
         assert!(!miss.is_success());
         assert!(!hit.is_non_gpu());

@@ -59,10 +59,8 @@ impl RunSummary {
         let n = records.len() as f64;
         let total_energy: f64 = records.iter().map(|r| r.energy_j).sum();
         let total_latency: f64 = records.iter().map(|r| r.latency_s).sum();
-        let pairs: BTreeSet<(ModelId, AcceleratorId)> = records
-            .iter()
-            .map(|r| (r.model, r.accelerator))
-            .collect();
+        let pairs: BTreeSet<(ModelId, AcceleratorId)> =
+            records.iter().map(|r| (r.model, r.accelerator)).collect();
         Self {
             label,
             frames: records.len(),
@@ -120,12 +118,7 @@ impl RunSummary {
 mod tests {
     use super::*;
 
-    fn record(
-        iou: f64,
-        accelerator: AcceleratorId,
-        model: ModelId,
-        swapped: bool,
-    ) -> FrameRecord {
+    fn record(iou: f64, accelerator: AcceleratorId, model: ModelId, swapped: bool) -> FrameRecord {
         FrameRecord::new(0, model, accelerator, iou, 0.1, 1.0, swapped)
     }
 

@@ -123,10 +123,7 @@ impl Timeline {
             *counts.entry(r.accelerator).or_insert(0) += 1;
         }
         let n = self.records.len().max(1) as f64;
-        counts
-            .into_iter()
-            .map(|(a, c)| (a, c as f64 / n))
-            .collect()
+        counts.into_iter().map(|(a, c)| (a, c as f64 / n)).collect()
     }
 }
 
@@ -179,7 +176,9 @@ mod tests {
 
     #[test]
     fn smoothing_reduces_variance() {
-        let series: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let series: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let smooth = Timeline::smoothed(&series, 8);
         let raw_var = crate::stats::std_dev(&series);
         let smooth_var = crate::stats::std_dev(&smooth);

@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn display_names_match_paper_rows() {
         assert_eq!(ModelId::YoloV7.to_string(), "YoloV7");
-        assert_eq!(ModelId::SsdMobilenetV2Small.to_string(), "SSD MobilenetV2 320x320");
+        assert_eq!(
+            ModelId::SsdMobilenetV2Small.to_string(),
+            "SSD MobilenetV2 320x320"
+        );
         assert_eq!(ExecutionTarget::OakD.to_string(), "OAK-D");
         assert_eq!(ModelFamily::Ssd.to_string(), "SSD");
     }

@@ -72,9 +72,7 @@ mod tests {
     fn larger_models_take_longer_to_load() {
         let small = LoadProfile::from_memory(60.0);
         let large = LoadProfile::from_memory(620.0);
-        assert!(
-            large.load_time_s(ExecutionTarget::Gpu) > small.load_time_s(ExecutionTarget::Gpu)
-        );
+        assert!(large.load_time_s(ExecutionTarget::Gpu) > small.load_time_s(ExecutionTarget::Gpu));
         assert!(
             large.load_energy_j(ExecutionTarget::Gpu) > small.load_energy_j(ExecutionTarget::Gpu)
         );

@@ -19,10 +19,13 @@ use crate::zoo::{ModelSpec, ModelZoo, PerfPoint};
 use serde::{Deserialize, Serialize};
 
 /// Numeric precision a model's layers execute in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Precision {
     /// Full 32-bit floating point — the paper's deployment choice and the
     /// identity transformation.
+    #[default]
     Fp32,
     /// Half precision: a modest speed/energy win at negligible accuracy loss.
     Fp16,
@@ -88,12 +91,6 @@ impl Precision {
     }
 }
 
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::Fp32
-    }
-}
-
 impl std::fmt::Display for Precision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -120,9 +117,8 @@ pub fn quantize_spec(spec: &ModelSpec, precision: Precision) -> ModelSpec {
     quantized.reference_success_rate = (spec.reference_success_rate * acc).clamp(0.0, 1.0);
     quantized.peak_iou = (spec.peak_iou * acc).clamp(0.0, 0.96);
     quantized.capacity = spec.capacity * (0.6 + 0.4 * acc);
-    quantized.load = crate::footprint::LoadProfile::from_memory(
-        spec.load.memory_mb * precision.memory_scale(),
-    );
+    quantized.load =
+        crate::footprint::LoadProfile::from_memory(spec.load.memory_mb * precision.memory_scale());
     quantized.perf = spec
         .perf
         .iter()
@@ -196,8 +192,8 @@ mod tests {
     fn int8_hits_yolo_accuracy_harder_than_ssd() {
         let fp32 = ModelZoo::standard();
         let int8 = fp32.with_precision(Precision::Int8);
-        let yolo_loss = fp32.spec(ModelId::YoloV7).reference_iou
-            - int8.spec(ModelId::YoloV7).reference_iou;
+        let yolo_loss =
+            fp32.spec(ModelId::YoloV7).reference_iou - int8.spec(ModelId::YoloV7).reference_iou;
         let ssd_loss = fp32.spec(ModelId::SsdMobilenetV1).reference_iou
             - int8.spec(ModelId::SsdMobilenetV1).reference_iou;
         assert!(
@@ -212,7 +208,7 @@ mod tests {
         let fp16 = fp32.with_precision(Precision::Fp16);
         for spec in &fp32 {
             let loss = spec.reference_iou - fp16.spec(spec.id).reference_iou;
-            assert!(loss >= 0.0 && loss < 0.01, "{}: {loss}", spec.id);
+            assert!((0.0..0.01).contains(&loss), "{}: {loss}", spec.id);
         }
     }
 

@@ -307,7 +307,11 @@ mod tests {
         for spec in &zoo {
             let mean: f64 = dataset
                 .iter()
-                .map(|frame| response.infer(spec, frame).iou_against(frame.truth.as_ref()))
+                .map(|frame| {
+                    response
+                        .infer(spec, frame)
+                        .iou_against(frame.truth.as_ref())
+                })
                 .sum::<f64>()
                 / dataset.len() as f64;
             assert!(
@@ -373,7 +377,10 @@ mod tests {
                 }
             }
         }
-        assert!(empty_frames > 10, "scenario 2 starts with the target absent");
+        assert!(
+            empty_frames > 10,
+            "scenario 2 starts with the target absent"
+        );
         assert!(
             false_positives * 3 < empty_frames,
             "false positives should be rare: {false_positives}/{empty_frames}"

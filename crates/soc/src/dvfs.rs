@@ -26,12 +26,15 @@ use serde::{Deserialize, Serialize};
 /// assert!(low.power_scale(AcceleratorId::Gpu) < 1.0);
 /// assert_eq!(PowerMode::Mode15W.latency_scale(AcceleratorId::Gpu), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum PowerMode {
     /// 10 W budget: clocks capped, lowest power, highest latency.
     Mode10W,
     /// 15 W budget: the default mode the paper characterizes on (identity
     /// scaling).
+    #[default]
     Mode15W,
     /// 20 W budget: clocks raised, lower latency at a higher power draw.
     Mode20W,
@@ -88,12 +91,6 @@ impl PowerMode {
     /// model on `accelerator`.
     pub fn energy_scale(&self, accelerator: AcceleratorId) -> f64 {
         self.latency_scale(accelerator) * self.power_scale(accelerator)
-    }
-}
-
-impl Default for PowerMode {
-    fn default() -> Self {
-        PowerMode::Mode15W
     }
 }
 

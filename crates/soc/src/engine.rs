@@ -340,10 +340,8 @@ impl ExecutionEngine {
             .as_ref()
             .map(|t| t.throttle_factor(accelerator))
             .unwrap_or(1.0);
-        let latency = perf.latency_s
-            * (1.0 + jitter)
-            * self.power_mode.latency_scale(accelerator)
-            * throttle;
+        let latency =
+            perf.latency_s * (1.0 + jitter) * self.power_mode.latency_scale(accelerator) * throttle;
         let power = perf.power_w * self.power_mode.power_scale(accelerator);
         let energy = latency * power;
         let result = self.response.infer(spec, frame);
@@ -474,9 +472,11 @@ mod tests {
         // models and then checking there is no room to re-load a released one
         // artificially shrunk... simpler: fill the GPU pool (1536 MB) with
         // large models until an OutOfMemory is reported.
-        e.load_model(ModelId::YoloV7E6E, AcceleratorId::Gpu).unwrap(); // 620
+        e.load_model(ModelId::YoloV7E6E, AcceleratorId::Gpu)
+            .unwrap(); // 620
         e.load_model(ModelId::YoloV7X, AcceleratorId::Gpu).unwrap(); // 480
-        e.load_model(ModelId::SsdResnet50, AcceleratorId::Gpu).unwrap(); // 350 -> 1450
+        e.load_model(ModelId::SsdResnet50, AcceleratorId::Gpu)
+            .unwrap(); // 350 -> 1450
         let err = e
             .load_model(ModelId::YoloV7, AcceleratorId::Gpu)
             .unwrap_err();
@@ -614,9 +614,8 @@ mod tests {
 
     #[test]
     fn thermal_model_heats_up_and_throttles_sustained_inference() {
-        let mut e = engine().with_thermal_model(crate::ThermalModel::new(
-            crate::ThermalConfig::stress_test(),
-        ));
+        let mut e = engine()
+            .with_thermal_model(crate::ThermalModel::new(crate::ThermalConfig::stress_test()));
         e.load_model(ModelId::YoloV7, AcceleratorId::Gpu).unwrap();
         let f = frame();
         let first = e
@@ -643,9 +642,8 @@ mod tests {
 
     #[test]
     fn tripped_accelerator_counts_as_offline() {
-        let mut e = engine().with_thermal_model(crate::ThermalModel::new(
-            crate::ThermalConfig::stress_test(),
-        ));
+        let mut e = engine()
+            .with_thermal_model(crate::ThermalModel::new(crate::ThermalConfig::stress_test()));
         e.load_model(ModelId::YoloV7, AcceleratorId::Gpu).unwrap();
         let f = frame();
         let mut saw_offline = false;
@@ -660,7 +658,10 @@ mod tests {
                 Err(other) => panic!("unexpected error: {other}"),
             }
         }
-        assert!(saw_offline, "stress-test thermal config should trip the GPU");
+        assert!(
+            saw_offline,
+            "stress-test thermal config should trip the GPU"
+        );
         assert!(!e.is_online(AcceleratorId::Gpu));
         // Other engines are unaffected.
         assert!(e.is_online(AcceleratorId::Dla0));

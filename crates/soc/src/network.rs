@@ -80,7 +80,8 @@ impl NetworkLink {
         if self.outage_period_frames == 0 || self.outage_len_frames == 0 {
             return false;
         }
-        frame_index % self.outage_period_frames < self.outage_len_frames.min(self.outage_period_frames)
+        frame_index % self.outage_period_frames
+            < self.outage_len_frames.min(self.outage_period_frames)
     }
 
     /// Deterministic RTT for `frame_index`, seconds (base RTT plus bounded
@@ -118,8 +119,7 @@ impl NetworkLink {
         let rtt = self.rtt_at(frame_index);
         let wait = rtt + server_time_s.max(0.0);
         let latency = transfer + wait;
-        let energy =
-            payload_mb.max(0.0) * self.tx_energy_j_per_mb + wait * self.idle_wait_power_w;
+        let energy = payload_mb.max(0.0) * self.tx_energy_j_per_mb + wait * self.idle_wait_power_w;
         Some(TransferReport {
             latency_s: latency,
             energy_j: energy,

@@ -59,12 +59,7 @@ impl Telemetry {
     }
 
     /// Records one inference.
-    pub fn record_inference(
-        &mut self,
-        accelerator: AcceleratorId,
-        latency_s: f64,
-        energy_j: f64,
-    ) {
+    pub fn record_inference(&mut self, accelerator: AcceleratorId, latency_s: f64, energy_j: f64) {
         self.inference_time_s += latency_s.max(0.0);
         self.inference_count += 1;
         self.energy

@@ -141,7 +141,12 @@ fn random_clip(rng: &mut StdRng, seed: u64, band: f64, frames: usize) -> Scenari
     let y1 = (y0 + rng.gen_range(-0.2..0.2f64)).clamp(0.05, 0.95);
     let trajectory = Trajectory::new(vec![
         Waypoint::new(0.0, x0, y0, distance),
-        Waypoint::new(1.0, x1, y1, (distance + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0)),
+        Waypoint::new(
+            1.0,
+            x1,
+            y1,
+            (distance + rng.gen_range(-0.1..0.1)).clamp(0.0, 1.0),
+        ),
     ]);
     let occlusions = if rng.gen_bool(0.15) {
         vec![Window::new(0.3, 0.6, rng.gen_range(0.2..0.7))]

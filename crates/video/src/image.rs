@@ -144,7 +144,10 @@ impl GrayImage {
     ///
     /// Panics if `width` or `height` is zero.
     pub fn resized(&self, width: usize, height: usize) -> GrayImage {
-        assert!(width > 0 && height > 0, "resize dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "resize dimensions must be non-zero"
+        );
         GrayImage::from_fn(width, height, |x, y| {
             let sx = ((x as f64 + 0.5) / width as f64 * self.width as f64).floor() as usize;
             let sy = ((y as f64 + 0.5) / height as f64 * self.height as f64).floor() as usize;

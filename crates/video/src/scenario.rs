@@ -271,8 +271,7 @@ impl Scenario {
             return None;
         }
         let (x, y, distance) = self.trajectory.sample(t);
-        let fraction =
-            MAX_TARGET_FRACTION + (MIN_TARGET_FRACTION - MAX_TARGET_FRACTION) * distance;
+        let fraction = MAX_TARGET_FRACTION + (MIN_TARGET_FRACTION - MAX_TARGET_FRACTION) * distance;
         let w = fraction * self.frame_width as f64;
         let h = fraction * 0.8 * self.frame_height as f64;
         let cx = x * self.frame_width as f64;
@@ -296,8 +295,7 @@ impl Scenario {
             ((h % 2001) as f64 / 1000.0 - 1.0) * self.camera_shake
         };
         SceneAppearance {
-            background_id: self.background_index_at(t) as u32
-                + (self.seed as u32).wrapping_mul(31),
+            background_id: self.background_index_at(t) as u32 + (self.seed as u32).wrapping_mul(31),
             clutter: segment.clutter,
             contrast: segment.contrast,
             lighting: segment.lighting,

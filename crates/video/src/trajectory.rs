@@ -316,7 +316,10 @@ mod tests {
         let t = Trajectory::orbit(0.5, 0.5, 0.25, 0.4, 2);
         let (x0, y0, d0) = t.sample(0.0);
         let (x1, y1, d1) = t.sample(1.0);
-        assert!((x0 - x1).abs() < 0.02 && (y0 - y1).abs() < 0.02, "orbit closes on itself");
+        assert!(
+            (x0 - x1).abs() < 0.02 && (y0 - y1).abs() < 0.02,
+            "orbit closes on itself"
+        );
         assert_eq!(d0, d1);
         for i in 0..=64 {
             let (x, y, d) = t.sample(i as f64 / 64.0);
@@ -340,7 +343,10 @@ mod tests {
             min_d = min_d.min(d);
             max_d = max_d.max(d);
         }
-        assert!(max_x - min_x > 0.5, "the eight should span most of the frame width");
+        assert!(
+            max_x - min_x > 0.5,
+            "the eight should span most of the frame width"
+        );
         assert!(max_d - min_d > 0.4, "the lobes should differ in distance");
     }
 

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             point.label,
             point.mean_iou,
             point.mean_energy_j,
-            if point.pareto_optimal { "pareto-optimal" } else { "dominated" }
+            if point.pareto_optimal {
+                "pareto-optimal"
+            } else {
+                "dominated"
+            }
         );
     }
     Ok(())

@@ -34,11 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Lever 2: quantization in the default 15 W mode.
     for precision in [Precision::Fp16, Precision::Int8] {
         let zoo = ModelZoo::standard().with_precision(precision);
-        let engine = ExecutionEngine::new(
-            ctx.platform().clone(),
-            zoo,
-            ResponseModel::new(ctx.seed()),
-        );
+        let engine =
+            ExecutionEngine::new(ctx.platform().clone(), zoo, ResponseModel::new(ctx.seed()));
         let mut runtime = SingleModelRuntime::new(engine, model, accelerator)?;
         let records = runtime.run(scenario.stream())?;
         summaries.push(RunSummary::from_records(

@@ -15,11 +15,7 @@ use shift_video::CharacterizationDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Small context + quick grid: tens of configurations instead of 1,860.
-    let ctx = ExperimentContext::with_options(
-        7,
-        CharacterizationDataset::generate(200, 7),
-        0.05,
-    );
+    let ctx = ExperimentContext::with_options(7, CharacterizationDataset::generate(200, 7), 0.05);
     let grid = SweepGrid::quick();
     println!(
         "sweeping {} configurations over scenarios 1 and 2...",

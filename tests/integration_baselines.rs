@@ -30,14 +30,19 @@ fn runs() -> &'static BaselineRuns {
         let mut oracle_e = Vec::new();
         let mut oracle_a = Vec::new();
         let mut oracle_l = Vec::new();
-        for scenario in [Scenario::scenario_1(), Scenario::scenario_3(), Scenario::scenario_5()] {
+        for scenario in [
+            Scenario::scenario_1(),
+            Scenario::scenario_3(),
+            Scenario::scenario_5(),
+        ] {
             let scenario = ctx.scaled(scenario);
             let summarize = |label: &str, records: &[shift_metrics::FrameRecord]| {
                 RunSummary::from_records(label, records)
             };
             shift.push(summarize(
                 "SHIFT",
-                &ctx.run_shift(&scenario, paper_shift_config()).expect("shift runs"),
+                &ctx.run_shift(&scenario, paper_shift_config())
+                    .expect("shift runs"),
             ));
             marlin.push(summarize(
                 "Marlin",

@@ -21,8 +21,7 @@ fn identical_seeds_produce_identical_shift_runs() {
             ModelZoo::standard(),
             ResponseModel::new(seed),
         );
-        let characterization =
-            characterize(&engine, &CharacterizationDataset::generate(150, seed));
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(150, seed));
         let mut runtime =
             ShiftRuntime::new(engine, &characterization, ShiftConfig::paper_defaults())
                 .expect("runtime builds");
@@ -41,12 +40,20 @@ fn identical_contexts_produce_identical_baseline_runs() {
     let scenario_a = ctx_a.scaled(Scenario::scenario_2());
     let scenario_b = ctx_b.scaled(Scenario::scenario_2());
     assert_eq!(
-        ctx_a.run_marlin(&scenario_a, MarlinConfig::standard()).unwrap(),
-        ctx_b.run_marlin(&scenario_b, MarlinConfig::standard()).unwrap()
+        ctx_a
+            .run_marlin(&scenario_a, MarlinConfig::standard())
+            .unwrap(),
+        ctx_b
+            .run_marlin(&scenario_b, MarlinConfig::standard())
+            .unwrap()
     );
     assert_eq!(
-        ctx_a.run_oracle(&scenario_a, OracleObjective::Energy).unwrap(),
-        ctx_b.run_oracle(&scenario_b, OracleObjective::Energy).unwrap()
+        ctx_a
+            .run_oracle(&scenario_a, OracleObjective::Energy)
+            .unwrap(),
+        ctx_b
+            .run_oracle(&scenario_b, OracleObjective::Energy)
+            .unwrap()
     );
     assert_eq!(
         ctx_a.run_shift(&scenario_a, paper_shift_config()).unwrap(),

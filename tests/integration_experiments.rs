@@ -1,8 +1,8 @@
 //! Integration tests over the experiment harness: every paper artifact can be
 //! regenerated end to end, and the resulting tables are well formed.
 
-use shift_experiments::{fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4};
 use shift_experiments::ExperimentContext;
+use shift_experiments::{fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4};
 use std::sync::OnceLock;
 
 fn ctx() -> &'static ExperimentContext {
@@ -29,7 +29,14 @@ fn table3_regenerates_with_all_methodologies() {
     let table = table3::generate(ctx()).expect("table 3 generates");
     assert_eq!(table.row_count(), 6);
     let md = table.to_markdown();
-    for label in ["Marlin", "Marlin Tiny", "SHIFT", "Oracle E", "Oracle A", "Oracle L"] {
+    for label in [
+        "Marlin",
+        "Marlin Tiny",
+        "SHIFT",
+        "Oracle E",
+        "Oracle A",
+        "Oracle L",
+    ] {
         assert!(md.contains(label), "missing row {label}");
     }
 }
@@ -52,8 +59,8 @@ fn fig3_and_fig4_regenerate() {
 
 #[test]
 fn fig5_quick_grid_regenerates() {
-    let table = fig5::generate_with_grid(ctx(), &fig5::SweepGrid::quick())
-        .expect("fig 5 generates");
+    let table =
+        fig5::generate_with_grid(ctx(), &fig5::SweepGrid::quick()).expect("fig 5 generates");
     assert_eq!(table.row_count(), 6, "one row per swept parameter");
 }
 

@@ -6,9 +6,7 @@ use shift_baselines::{
     AdaVpConfig, AdaVpRuntime, FrameHopperConfig, FrameHopperRuntime, OffloadConfig,
     OffloadRuntime, SingleModelRuntime,
 };
-use shift_core::{
-    prediction_mae, ConfidenceGraph, PassthroughPredictor, RegressionPredictor,
-};
+use shift_core::{prediction_mae, ConfidenceGraph, PassthroughPredictor, RegressionPredictor};
 use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
 use shift_metrics::{
@@ -39,13 +37,15 @@ fn quantized_runs_are_deterministic_and_cheaper() {
     };
     let fp32_a = run(Precision::Fp32);
     let fp32_b = run(Precision::Fp32);
-    assert_eq!(fp32_a, fp32_b, "same precision + seed must be bit-identical");
+    assert_eq!(
+        fp32_a, fp32_b,
+        "same precision + seed must be bit-identical"
+    );
 
     let int8 = run(Precision::Int8);
     let energy = |rs: &[shift_metrics::FrameRecord]| rs.iter().map(|r| r.energy_j).sum::<f64>();
-    let iou = |rs: &[shift_metrics::FrameRecord]| {
-        rs.iter().map(|r| r.iou).sum::<f64>() / rs.len() as f64
-    };
+    let iou =
+        |rs: &[shift_metrics::FrameRecord]| rs.iter().map(|r| r.iou).sum::<f64>() / rs.len() as f64;
     assert!(energy(&int8) < energy(&fp32_a));
     assert!(iou(&int8) < iou(&fp32_a), "INT8 YoloV7 loses accuracy");
 }
@@ -57,7 +57,10 @@ fn power_modes_preserve_accuracy_and_shift_the_cost() {
         let engine = engine_with(ModelZoo::standard(), 5).with_power_mode(mode);
         let mut runtime =
             SingleModelRuntime::new(engine, ModelId::YoloV7, AcceleratorId::Gpu).unwrap();
-        RunSummary::from_records(format!("{mode}"), &runtime.run(scenario.clone().stream()).unwrap())
+        RunSummary::from_records(
+            format!("{mode}"),
+            &runtime.run(scenario.clone().stream()).unwrap(),
+        )
     };
     let low = run(PowerMode::Mode10W);
     let mid = run(PowerMode::Mode15W);
@@ -65,7 +68,10 @@ fn power_modes_preserve_accuracy_and_shift_the_cost() {
     assert!(low.mean_latency_s > mid.mean_latency_s);
     assert!(mid.mean_latency_s > high.mean_latency_s);
     assert!(low.mean_energy_j < high.mean_energy_j);
-    assert!((low.mean_iou - high.mean_iou).abs() < 1e-9, "DVFS must not change detections");
+    assert!(
+        (low.mean_iou - high.mean_iou).abs() < 1e-9,
+        "DVFS must not change detections"
+    );
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn predictors_rank_consistently_on_the_shared_characterization() {
     let passthrough_mae = prediction_mae(&passthrough, samples).unwrap();
     assert!(graph_mae < passthrough_mae);
     assert!(regression_mae < passthrough_mae);
-    assert!(graph_mae < 0.35, "graph MAE should be a usable signal, got {graph_mae}");
+    assert!(
+        graph_mae < 0.35,
+        "graph MAE should be a usable signal, got {graph_mae}"
+    );
 }
 
 #[test]
@@ -105,7 +114,10 @@ fn all_baselines_produce_complete_comparable_records() {
     ] {
         assert_eq!(records.len(), frames, "{label} dropped frames");
         for record in records.iter() {
-            assert!(record.iou >= 0.0 && record.iou <= 1.0, "{label} IoU out of range");
+            assert!(
+                record.iou >= 0.0 && record.iou <= 1.0,
+                "{label} IoU out of range"
+            );
             assert!(record.latency_s > 0.0, "{label} has a zero-latency frame");
             assert!(record.energy_j >= 0.0);
         }
@@ -127,7 +139,11 @@ fn all_baselines_produce_complete_comparable_records() {
         "at least one method must be Pareto-optimal"
     );
     assert!(
-        frontier.iter().find(|p| p.label == "SHIFT").unwrap().pareto_optimal,
+        frontier
+            .iter()
+            .find(|p| p.label == "SHIFT")
+            .unwrap()
+            .pareto_optimal,
         "SHIFT should sit on the accuracy-energy frontier of this comparison"
     );
 }
@@ -160,7 +176,7 @@ fn success_curves_are_consistent_with_the_fixed_threshold_metric() {
     assert!((curve[0].success_rate - summary.success_rate).abs() < 1e-12);
 
     let auc = average_success(&records);
-    assert!(auc >= 0.0 && auc <= 1.0);
+    assert!((0.0..=1.0).contains(&auc));
     // The area under the success curve is bounded below by the success rate
     // at the strictest threshold and above by the loosest threshold's rate.
     let loose = success_curve(&records, &[0.05])[0].success_rate;
@@ -299,12 +315,9 @@ fn shift_remains_deterministic_with_extensions_enabled() {
     let scenario = ctx.scaled(Scenario::scenario_1());
     let run = || {
         let engine = ctx.engine().with_power_mode(PowerMode::Mode20W);
-        let mut runtime = shift_core::ShiftRuntime::new(
-            engine,
-            ctx.characterization(),
-            paper_shift_config(),
-        )
-        .unwrap();
+        let mut runtime =
+            shift_core::ShiftRuntime::new(engine, ctx.characterization(), paper_shift_config())
+                .unwrap();
         runtime
             .run(scenario.stream())
             .unwrap()

@@ -36,7 +36,10 @@ fn shift_completes_when_restricted_to_non_gpu_accelerators() {
     assert_eq!(records.len(), scenario.num_frames());
     assert!(records.iter().all(|r| r.accelerator != AcceleratorId::Gpu));
     let mean_iou = records.iter().map(|r| r.iou).sum::<f64>() / records.len() as f64;
-    assert!(mean_iou > 0.2, "DLA-only SHIFT still detects, got {mean_iou}");
+    assert!(
+        mean_iou > 0.2,
+        "DLA-only SHIFT still detects, got {mean_iou}"
+    );
 }
 
 #[test]
@@ -44,7 +47,10 @@ fn shift_with_no_allowed_accelerators_fails_fast() {
     let ctx = ExperimentContext::quick(42);
     let config = paper_shift_config().with_allowed_accelerators(Vec::new());
     let err = ShiftRuntime::new(ctx.engine(), ctx.characterization(), config).err();
-    assert!(err.is_some(), "empty accelerator set cannot schedule anything");
+    assert!(
+        err.is_some(),
+        "empty accelerator set cannot schedule anything"
+    );
 }
 
 #[test]
@@ -55,7 +61,10 @@ fn thermal_trip_surfaces_as_accelerator_offline() {
         .expect("pair loads");
     // Run the hottest model in a loop; the stress-test thermal config must
     // eventually trip the GPU and the error must identify the GPU.
-    let frames: Vec<_> = Scenario::scenario_1().with_num_frames(2000).stream().collect();
+    let frames: Vec<_> = Scenario::scenario_1()
+        .with_num_frames(2000)
+        .stream()
+        .collect();
     let mut tripped = false;
     for frame in &frames {
         match runtime.process_frame(frame) {
@@ -68,7 +77,10 @@ fn thermal_trip_surfaces_as_accelerator_offline() {
             Err(other) => panic!("unexpected failure: {other}"),
         }
     }
-    assert!(tripped, "sustained YoloV7 inference must trip the stress-test thermal model");
+    assert!(
+        tripped,
+        "sustained YoloV7 inference must trip the stress-test thermal model"
+    );
 
     // The same failure does not poison other engines: a fresh DLA runtime on
     // the same (untripped) platform instance still works.
@@ -90,7 +102,10 @@ fn administratively_offline_accelerator_rejects_work_until_restored() {
     let err = engine
         .run_inference(ModelId::YoloV7Tiny, AcceleratorId::OakD, &frame)
         .unwrap_err();
-    assert!(matches!(err, SocError::AcceleratorOffline(AcceleratorId::OakD)));
+    assert!(matches!(
+        err,
+        SocError::AcceleratorOffline(AcceleratorId::OakD)
+    ));
     engine.set_accelerator_online(AcceleratorId::OakD, true);
     assert!(engine
         .run_inference(ModelId::YoloV7Tiny, AcceleratorId::OakD, &frame)
@@ -115,14 +130,20 @@ fn offload_survives_a_complete_outage_window() {
     let stats = runtime.stats();
     assert!(stats.offloaded_frames > 0);
     assert!(stats.fallback_frames > 0);
-    assert_eq!(stats.blind_frames, 0, "fallback model prevents blind frames");
+    assert_eq!(
+        stats.blind_frames, 0,
+        "fallback model prevents blind frames"
+    );
     let outage_records: Vec<_> = records
         .iter()
         .filter(|r| r.accelerator == AcceleratorId::Gpu)
         .collect();
     let outage_iou =
         outage_records.iter().map(|r| r.iou).sum::<f64>() / outage_records.len().max(1) as f64;
-    assert!(outage_iou > 0.2, "fallback detections still land, got {outage_iou}");
+    assert!(
+        outage_iou > 0.2,
+        "fallback detections still land, got {outage_iou}"
+    );
 }
 
 #[test]
@@ -130,8 +151,12 @@ fn memory_pressure_forces_eviction_but_never_overcommits() {
     let mut engine = base_engine(17);
     // Fill the GPU pool, then demand one more large model: the engine refuses
     // rather than overcommitting, and freeing capacity resolves the pressure.
-    engine.load_model(ModelId::YoloV7E6E, AcceleratorId::Gpu).unwrap();
-    engine.load_model(ModelId::YoloV7X, AcceleratorId::Gpu).unwrap();
+    engine
+        .load_model(ModelId::YoloV7E6E, AcceleratorId::Gpu)
+        .unwrap();
+    engine
+        .load_model(ModelId::YoloV7X, AcceleratorId::Gpu)
+        .unwrap();
     engine
         .load_model(ModelId::SsdResnet50, AcceleratorId::Gpu)
         .unwrap();
@@ -142,7 +167,9 @@ fn memory_pressure_forces_eviction_but_never_overcommits() {
     let pool = engine.pool(AcceleratorId::Gpu).unwrap();
     assert!(pool.used_mb() <= pool.capacity_mb());
     assert!(engine.unload_model(ModelId::YoloV7E6E, AcceleratorId::Gpu));
-    assert!(engine.load_model(ModelId::YoloV7, AcceleratorId::Gpu).is_ok());
+    assert!(engine
+        .load_model(ModelId::YoloV7, AcceleratorId::Gpu)
+        .is_ok());
     let pool = engine.pool(AcceleratorId::Gpu).unwrap();
     assert!(pool.used_mb() <= pool.capacity_mb());
 }
@@ -158,8 +185,12 @@ fn shift_keeps_running_when_the_platform_throttles() {
     let engine = ctx
         .engine()
         .with_thermal_model(ThermalModel::new(ThermalConfig::xavier_nx()));
-    let mut runtime =
-        ShiftRuntime::new(engine, ctx.characterization(), ShiftConfig::paper_defaults()).unwrap();
+    let mut runtime = ShiftRuntime::new(
+        engine,
+        ctx.characterization(),
+        ShiftConfig::paper_defaults(),
+    )
+    .unwrap();
     let outcomes = runtime.run(scenario.stream()).expect("run completes");
     assert_eq!(outcomes.len(), scenario.num_frames());
     let thermal = runtime.engine().thermal().expect("thermal model attached");

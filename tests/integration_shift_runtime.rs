@@ -90,7 +90,10 @@ fn scheduler_overhead_budget_holds_in_wall_clock_time() {
     // loader, metrics) excluding the simulated inference, with a generous
     // margin for debug builds and CI noise.
     let mut runtime = build_runtime(23);
-    let frames: Vec<_> = Scenario::scenario_3().with_num_frames(100).stream().collect();
+    let frames: Vec<_> = Scenario::scenario_3()
+        .with_num_frames(100)
+        .stream()
+        .collect();
     // Warm up (initial load happens on the first frame).
     runtime.process_frame(&frames[0]).expect("frame processes");
     let start = std::time::Instant::now();

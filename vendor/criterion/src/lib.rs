@@ -1,0 +1,347 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the Criterion.rs API the `shift-bench` targets use:
+//! `Criterion` (with `warm_up_time` / `measurement_time` / `sample_size`),
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each sample times `iters_per_sample`
+//! closure invocations with [`std::time::Instant`] and the harness reports
+//! the min / mean / max per-iteration time. There is no statistical analysis,
+//! no HTML report and no saved baselines — swap the real `criterion` back in
+//! (delete `vendor/criterion`, use crates.io) when the environment allows.
+//!
+//! When invoked with `--test` (as `cargo test --benches` does for
+//! `harness = false` targets), every benchmark body runs exactly once so the
+//! suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A compound id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value (`criterion::BenchmarkId::from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    test_mode: bool,
+    report: Option<TimingReport>,
+}
+
+struct TimingReport {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly and recording per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / self.iters_per_sample as u32;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            total += elapsed;
+        }
+        self.report = Some(TimingReport {
+            min,
+            mean: total / self.samples as u32,
+            max,
+        });
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration (accepted for API compatibility; the stub
+    /// runs a single untimed iteration as warm-up instead).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget used to pick the per-sample iteration
+    /// count.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.run_one(&id.into().id, sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        label: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples: sample_size,
+            iters_per_sample: self.calibrate(&mut f, sample_size, measurement_time),
+            test_mode: self.test_mode,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.test_mode => println!(
+                "{label:<60} time: [{} {} {}]",
+                fmt_duration(r.min),
+                fmt_duration(r.mean),
+                fmt_duration(r.max),
+            ),
+            _ => println!("{label:<60} ok (test mode)"),
+        }
+    }
+
+    /// One untimed warm-up pass that also picks how many iterations fit in
+    /// the measurement budget, so fast routines are timed in batches.
+    fn calibrate<F: FnMut(&mut Bencher)>(
+        &mut self,
+        f: &mut F,
+        sample_size: usize,
+        measurement_time: Duration,
+    ) -> u64 {
+        if self.test_mode {
+            return 1;
+        }
+        let mut probe = Bencher {
+            samples: 1,
+            iters_per_sample: 1,
+            test_mode: false,
+            report: None,
+        };
+        f(&mut probe);
+        let once = probe
+            .report
+            .map(|r| r.mean)
+            .unwrap_or(Duration::from_micros(1))
+            .max(Duration::from_nanos(1));
+        let budget = measurement_time.max(Duration::from_millis(1));
+        let per_sample = budget / sample_size.max(1) as u32;
+        (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Overrides the measurement budget for benchmarks in this group (the
+    /// override is group-scoped, as in real criterion).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion
+            .run_one(&label, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a setup value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (The stub keeps no per-group state to flush.)
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+        };
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_overrides_sample_size() {
+        let mut c = Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &3u64, |b, &x| {
+            b.iter(|| runs += x)
+        });
+        group.finish();
+        assert_eq!(runs, 3, "test mode runs the body exactly once");
+    }
+}

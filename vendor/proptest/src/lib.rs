@@ -1,0 +1,218 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the proptest API the integration tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   header and `arg in strategy` bindings,
+//! * range strategies over `f64` / `u64` / `usize` and
+//!   [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! seeds: each test runs `cases` deterministic samples derived from the test
+//! name, so failures are reproducible across runs but are reported at the
+//! sampled values rather than at a minimal counterexample.
+
+use std::ops::Range;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration that runs `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A source of sampled values, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Produces vectors whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Seeds the per-test generator from the test's name so each property gets a
+/// distinct but reproducible sample stream.
+pub fn rng_for_test(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+/// Property assertion; panics (failing the test) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        assert!($cond $(, $($fmt)+)?)
+    };
+}
+
+/// Property equality assertion; panics when the sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a plain
+/// `#[test]` that samples all arguments `cases` times and runs the body per
+/// sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Sampled ranges stay within bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        /// Vec strategies honour the length range.
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+    }
+
+    proptest! {
+        /// The default config applies when no header is given.
+        #[test]
+        fn default_config_runs(seed in 0u64..5) {
+            prop_assert!(seed < 5);
+        }
+    }
+
+    #[test]
+    fn rng_for_test_is_deterministic_and_name_sensitive() {
+        use rand::Rng;
+        let a = super::rng_for_test("a").next_u64();
+        let a2 = super::rng_for_test("a").next_u64();
+        let b = super::rng_for_test("b").next_u64();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! exact API subset the workspace uses — `rngs::StdRng`, `SeedableRng::
+//! seed_from_u64`, `Rng::gen_range` over half-open ranges and `Rng::gen_bool`
+//! — backed by SplitMix64. Determinism per `(seed, call sequence)` is all the
+//! simulation needs; the stream is *not* bit-compatible with the real
+//! `rand::rngs::StdRng` (ChaCha12), so swapping the real crate back in will
+//! shift sampled values (but not any invariant the test suite checks).
+
+use std::ops::Range;
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a value in `[low, high)` using the given generator.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let unit = rng.next_unit_f64();
+        // The lerp can round up to exactly `end` for narrow spans; clamp to
+        // the largest value below it so the half-open contract holds.
+        (range.start + unit * (range.end - range.start)).min(range.end.next_down())
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let unit = rng.next_unit_f64() as f32;
+        (range.start + unit * (range.end - range.start)).min(range.end.next_down())
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // i128 arithmetic so signed ranges (and spans wider than the
+                // type's positive half) can't overflow.
+                let span = ((range.end as i128) - (range.start as i128)) as u64;
+                ((range.start as i128) + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The subset of the `rand::Rng` interface used by this workspace.
+pub trait Rng {
+    /// Returns the next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform draw from `[0, 1)`.
+    fn next_unit_f64(&mut self) -> f64 {
+        // 53 high bits -> f64 mantissa, exactly the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples uniformly from the half-open range `[low, high)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]` (including NaN), matching the real
+    /// `rand` 0.8 behaviour so a future swap-back cannot change semantics.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p = {p} is outside [0, 1]");
+        self.next_unit_f64() < p
+    }
+}
+
+/// Concrete generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Stands in for `rand::rngs::StdRng`; same API, different (simpler)
+    /// stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014) — full-period, passes
+            // BigCrush, and is tiny; ideal for a vendored stub.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.25..0.75f64);
+            assert!((-0.25..0.75).contains(&x));
+            let n = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_half_open_even_when_narrow() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (lo, hi) = (0.5f64, 0.5000000000000001f64);
+        for _ in 0..1000 {
+            let x = rng.gen_range(lo..hi);
+            assert!(x >= lo && x < hi, "{x} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gen_bool_rejects_nan() {
+        StdRng::seed_from_u64(2).gen_bool(f64::NAN);
+    }
+
+    #[test]
+    fn signed_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&x));
+            let y = rng.gen_range(i64::MIN..i64::MAX);
+            assert!((i64::MIN..i64::MAX).contains(&y));
+        }
+    }
+}

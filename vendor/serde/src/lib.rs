@@ -1,0 +1,23 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal stand-in: the two derive macros expand to
+//! nothing. No code in the workspace consumes the `Serialize`/`Deserialize`
+//! *traits* (there is no `serde_json`, and no generic bounds on them), so the
+//! derives only need to parse — they exist to mark which types are intended
+//! to be wire-serializable once the real `serde` can be swapped back in by
+//! deleting `vendor/serde` and pointing the workspace dependency at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
