@@ -49,6 +49,7 @@
 pub mod characterize;
 pub mod config;
 pub mod context;
+pub mod fleet;
 pub mod graph;
 pub mod loader;
 pub mod predictor;
@@ -59,12 +60,13 @@ pub mod traits;
 pub use characterize::{characterize, Characterization, ModelObservation, SampleObservation};
 pub use config::{Knobs, ShiftConfig};
 pub use context::ContextDetector;
+pub use fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
 pub use graph::{ConfidenceGraph, GraphConfig, Prediction};
 pub use loader::{DynamicModelLoader, LoadOutcome};
 pub use predictor::{
     prediction_mae, AccuracyPredictor, EnsemblePredictor, PassthroughPredictor, RegressionPredictor,
 };
-pub use runtime::{FrameOutcome, ShiftRuntime};
+pub use runtime::{FrameOutcome, LoadCharge, ShiftRuntime, StreamAgent};
 pub use scheduler::{CandidatePair, Decision, Scheduler};
 pub use traits::{AcceleratorStats, ModelTraits};
 
@@ -72,6 +74,7 @@ pub use traits::{AcceleratorStats, ModelTraits};
 pub mod prelude {
     pub use crate::characterize::{characterize, Characterization};
     pub use crate::config::{Knobs, ShiftConfig};
+    pub use crate::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
     pub use crate::graph::{ConfidenceGraph, GraphConfig};
     pub use crate::runtime::{FrameOutcome, ShiftRuntime};
     pub use crate::scheduler::{CandidatePair, Scheduler};
@@ -90,6 +93,8 @@ pub enum ShiftError {
     /// The characterization contains no samples, so no confidence graph can
     /// be built.
     EmptyCharacterization,
+    /// A fleet was constructed with no streams.
+    EmptyFleet,
 }
 
 impl std::fmt::Display for ShiftError {
@@ -101,6 +106,9 @@ impl std::fmt::Display for ShiftError {
             }
             ShiftError::EmptyCharacterization => {
                 write!(f, "characterization contains no samples")
+            }
+            ShiftError::EmptyFleet => {
+                write!(f, "fleet contains no streams")
             }
         }
     }

@@ -89,6 +89,25 @@ impl DynamicModelLoader {
         engine: &mut ExecutionEngine,
         pair: CandidatePair,
     ) -> Result<LoadOutcome, SocError> {
+        self.ensure_loaded_protected(engine, pair, &[])
+    }
+
+    /// Like [`ensure_loaded`](Self::ensure_loaded), but refuses to evict any
+    /// of the `protected` models. Used by the fleet runtime, where the
+    /// eviction set spans every stream and a model another stream is actively
+    /// running must not be stolen from under it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::OutOfMemory`] when the model cannot fit without
+    /// evicting a protected model, plus the compatibility errors of
+    /// [`ensure_loaded`](Self::ensure_loaded).
+    pub fn ensure_loaded_protected(
+        &mut self,
+        engine: &mut ExecutionEngine,
+        pair: CandidatePair,
+        protected: &[ModelId],
+    ) -> Result<LoadOutcome, SocError> {
         if engine.is_loaded(pair.model, pair.accelerator) {
             self.touch(pair);
             return Ok(LoadOutcome::already_resident(pair));
@@ -113,7 +132,8 @@ impl DynamicModelLoader {
                     });
                 }
                 Err(SocError::OutOfMemory { .. }) => {
-                    let Some(victim) = self.pick_victim(engine, pair.accelerator, pair.model)
+                    let Some(victim) =
+                        self.pick_victim(engine, pair.accelerator, pair.model, protected)
                     else {
                         // Nothing left to evict: the model genuinely cannot fit.
                         return Err(SocError::OutOfMemory {
@@ -171,27 +191,30 @@ impl DynamicModelLoader {
     }
 
     /// Least-recently-requested resident model on `accelerator`, excluding
-    /// `incoming` (never evict the model we are about to use).
+    /// `incoming` (never evict the model we are about to use) and any
+    /// `protected` model.
     fn pick_victim(
         &self,
         engine: &ExecutionEngine,
         accelerator: AcceleratorId,
         incoming: ModelId,
+        protected: &[ModelId],
     ) -> Option<ModelId> {
         let resident = engine.loaded_models(accelerator);
         if resident.is_empty() {
             return None;
         }
+        let evictable = |m: ModelId| m != incoming && !protected.contains(&m);
         if let Some(queue) = self.recency.get(&accelerator) {
             for &candidate in queue {
-                if candidate != incoming && resident.contains(&candidate) {
+                if evictable(candidate) && resident.contains(&candidate) {
                     return Some(candidate);
                 }
             }
         }
         // Models resident but never requested through the loader (e.g. loaded
         // directly by a baseline) are evicted first.
-        resident.into_iter().find(|&m| m != incoming)
+        resident.into_iter().find(|&m| evictable(m))
     }
 }
 
@@ -321,6 +344,38 @@ mod tests {
             &[ModelId::SsdResnet50, ModelId::YoloV7Tiny],
         );
         assert_eq!(loaded, vec![ModelId::YoloV7Tiny]);
+    }
+
+    #[test]
+    fn protected_models_are_never_evicted() {
+        let mut e = engine();
+        let mut loader = DynamicModelLoader::new();
+        // GPU pool is 1536 MB: E6E (620) + X (480) + Resnet50 (350) = 1450.
+        for model in [ModelId::YoloV7E6E, ModelId::YoloV7X, ModelId::SsdResnet50] {
+            loader
+                .ensure_loaded(&mut e, CandidatePair::new(model, AcceleratorId::Gpu))
+                .unwrap();
+        }
+        // E6E is the LRU entry but protected, so X must be the victim.
+        let outcome = loader
+            .ensure_loaded_protected(
+                &mut e,
+                CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu),
+                &[ModelId::YoloV7E6E],
+            )
+            .unwrap();
+        assert_eq!(outcome.evicted, vec![ModelId::YoloV7X]);
+        assert!(e.is_loaded(ModelId::YoloV7E6E, AcceleratorId::Gpu));
+        // Protecting every resident model leaves nothing to evict.
+        let err = loader
+            .ensure_loaded_protected(
+                &mut e,
+                CandidatePair::new(ModelId::YoloV7X, AcceleratorId::Gpu),
+                &[ModelId::YoloV7E6E, ModelId::SsdResnet50, ModelId::YoloV7],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SocError::OutOfMemory { .. }));
+        assert!(e.is_loaded(ModelId::SsdResnet50, AcceleratorId::Gpu));
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! The end-to-end SHIFT runtime: per-frame loop combining context detection,
 //! scheduling, dynamic model loading and execution on the simulated SoC.
+//!
+//! The per-stream half of the loop (context detection, scheduling, momentum,
+//! outcome bookkeeping) lives in [`StreamAgent`], so it can be driven either
+//! by [`ShiftRuntime`] — one stream owning one engine — or by
+//! [`FleetRuntime`](crate::fleet::FleetRuntime), which multiplexes many
+//! agents over one shared engine. `ShiftRuntime` is the single-stream
+//! special case.
 
 use crate::characterize::Characterization;
 use crate::config::ShiftConfig;
 use crate::context::ContextDetector;
 use crate::graph::ConfidenceGraph;
 use crate::loader::DynamicModelLoader;
-use crate::scheduler::{CandidatePair, Scheduler};
+use crate::scheduler::{CandidatePair, Decision, Scheduler};
 use crate::ShiftError;
 use serde::{Deserialize, Serialize};
 use shift_models::Detection;
-use shift_soc::ExecutionEngine;
+use shift_soc::{ExecutionEngine, InferenceReport};
 use shift_video::Frame;
 use std::collections::BTreeSet;
 
@@ -42,19 +49,30 @@ pub struct FrameOutcome {
     pub similarity: f64,
 }
 
-/// The SHIFT runtime.
+/// The load cost (and swap flag) charged to one executed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadCharge {
+    /// Model-load time charged to the frame, seconds.
+    pub time_s: f64,
+    /// Model-load energy charged to the frame, joules.
+    pub energy_j: f64,
+    /// Whether the frame performed a model/accelerator swap.
+    pub swapped: bool,
+}
+
+/// The per-stream half of the SHIFT loop: context detection, scheduling and
+/// outcome bookkeeping for **one** video stream, without owning an engine.
 ///
-/// Construction performs the *online-side* setup only: the confidence graph
-/// is built from a pre-computed [`Characterization`], the scheduler and the
-/// dynamic model loader are initialized, and the initial model is pre-loaded
-/// onto its accelerator (charged to the first frame).
-///
-/// See the crate-level example for end-to-end usage.
+/// [`ShiftRuntime`] pairs one agent with its own [`ExecutionEngine`];
+/// [`FleetRuntime`](crate::fleet::FleetRuntime) multiplexes many agents over
+/// a single shared engine. A frame flows through an agent in two phases:
+/// [`decide`](Self::decide) produces the scheduling decision, the driver
+/// loads the model and runs inference on whatever engine it manages, and
+/// [`complete`](Self::complete) folds the execution report back into the
+/// agent's state and produces the [`FrameOutcome`].
 #[derive(Debug, Clone)]
-pub struct ShiftRuntime {
-    engine: ExecutionEngine,
+pub struct StreamAgent {
     scheduler: Scheduler,
-    loader: DynamicModelLoader,
     detector: ContextDetector,
     current: CandidatePair,
     last_confidence: f64,
@@ -63,6 +81,155 @@ pub struct ShiftRuntime {
     pending_load_energy_j: f64,
     pairs_used: BTreeSet<CandidatePair>,
     swap_count: u64,
+}
+
+impl StreamAgent {
+    /// Builds an agent from an offline characterization and a configuration.
+    /// The initial pair is selected but **not** loaded — the driver decides
+    /// when and on which engine to make it resident (see
+    /// [`charge_pending_load`](Self::charge_pending_load)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShiftError::EmptyCharacterization`] when the
+    /// characterization has no samples and [`ShiftError::NoCandidatePairs`]
+    /// when no model can run on any allowed accelerator.
+    pub fn new(
+        characterization: &Characterization,
+        config: ShiftConfig,
+    ) -> Result<Self, ShiftError> {
+        if characterization.is_empty() {
+            return Err(ShiftError::EmptyCharacterization);
+        }
+        let graph = ConfidenceGraph::build(&characterization.samples, config.graph_config());
+        let scheduler = Scheduler::new(config, characterization, graph)?;
+        let current = scheduler.initial_pair();
+        Ok(Self {
+            scheduler,
+            detector: ContextDetector::new(),
+            current,
+            last_confidence: 0.0,
+            last_detection: None,
+            pending_load_time_s: 0.0,
+            pending_load_energy_j: 0.0,
+            pairs_used: BTreeSet::new(),
+            swap_count: 0,
+        })
+    }
+
+    /// The pair currently selected for execution.
+    pub fn current_pair(&self) -> CandidatePair {
+        self.current
+    }
+
+    /// The scheduler (for inspection in tests and ablations).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The configuration the agent was built with.
+    pub fn config(&self) -> &ShiftConfig {
+        self.scheduler.config()
+    }
+
+    /// Number of model/accelerator swaps performed so far.
+    pub fn swap_count(&self) -> u64 {
+        self.swap_count
+    }
+
+    /// Distinct (model, accelerator) pairs used so far.
+    pub fn pairs_used(&self) -> usize {
+        self.pairs_used.len()
+    }
+
+    /// Adds a load cost to be charged to the next processed frame (used for
+    /// the initial model pre-load, which happens before any frame exists).
+    pub fn charge_pending_load(&mut self, time_s: f64, energy_j: f64) {
+        self.pending_load_time_s += time_s;
+        self.pending_load_energy_j += energy_j;
+    }
+
+    /// Takes (and clears) the pending load cost accumulated so far.
+    pub fn take_pending_load(&mut self) -> (f64, f64) {
+        (
+            std::mem::take(&mut self.pending_load_time_s),
+            std::mem::take(&mut self.pending_load_energy_j),
+        )
+    }
+
+    /// Phase one of a frame: computes the context similarity against the
+    /// previous frame and runs the scheduling heuristic.
+    pub fn decide(&mut self, frame: &Frame) -> Decision {
+        let similarity = self
+            .detector
+            .similarity(frame, self.last_detection.map(|d| d.bbox).as_ref());
+        self.scheduler
+            .schedule(self.current, self.last_confidence, similarity)
+    }
+
+    /// Phase two of a frame: folds the executed pair, the inference report
+    /// and the charged load cost back into the agent and produces the
+    /// [`FrameOutcome`]. `pair` is the pair that actually executed (the fleet
+    /// may have downgraded the decision under memory pressure);
+    /// `queue_wait_s` is any cross-stream queueing delay charged on top.
+    pub fn complete(
+        &mut self,
+        frame: &Frame,
+        pair: CandidatePair,
+        decision: &Decision,
+        report: &InferenceReport,
+        load: LoadCharge,
+        queue_wait_s: f64,
+    ) -> FrameOutcome {
+        if load.swapped {
+            self.swap_count += 1;
+        }
+        self.current = pair;
+        self.pairs_used.insert(pair);
+
+        let detection = report.result.detection;
+        let confidence = report.result.confidence();
+        let iou = report.result.iou_against(frame.truth.as_ref());
+
+        self.detector
+            .update(frame, detection.as_ref().map(|d| &d.bbox));
+        self.last_confidence = confidence;
+        self.last_detection = detection;
+
+        let config = self.scheduler.config();
+        FrameOutcome {
+            frame_index: frame.index,
+            pair,
+            detection,
+            confidence,
+            iou,
+            success: iou >= 0.5,
+            latency_s: queue_wait_s + config.scheduler_overhead_s + load.time_s + report.latency_s,
+            energy_j: config.scheduler_overhead_energy_j() + load.energy_j + report.energy_j,
+            swapped: load.swapped,
+            rescheduled: decision.rescheduled,
+            similarity: decision.similarity,
+        }
+    }
+}
+
+/// The SHIFT runtime.
+///
+/// Construction performs the *online-side* setup only: the confidence graph
+/// is built from a pre-computed [`Characterization`], the scheduler and the
+/// dynamic model loader are initialized, and the initial model is pre-loaded
+/// onto its accelerator (charged to the first frame).
+///
+/// Internally the runtime is one [`StreamAgent`] bound to its own engine and
+/// loader; [`FleetRuntime`](crate::fleet::FleetRuntime) composes many agents
+/// over one shared engine.
+///
+/// See the crate-level example for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct ShiftRuntime {
+    engine: ExecutionEngine,
+    loader: DynamicModelLoader,
+    agent: StreamAgent,
 }
 
 impl ShiftRuntime {
@@ -79,44 +246,32 @@ impl ShiftRuntime {
         characterization: &Characterization,
         config: ShiftConfig,
     ) -> Result<Self, ShiftError> {
-        if characterization.is_empty() {
-            return Err(ShiftError::EmptyCharacterization);
-        }
-        let graph = ConfidenceGraph::build(&characterization.samples, config.graph_config());
-        let scheduler = Scheduler::new(config, characterization, graph)?;
-        let current = scheduler.initial_pair();
+        let agent = StreamAgent::new(characterization, config)?;
         let mut runtime = Self {
             engine,
-            scheduler,
             loader: DynamicModelLoader::new(),
-            detector: ContextDetector::new(),
-            current,
-            last_confidence: 0.0,
-            last_detection: None,
-            pending_load_time_s: 0.0,
-            pending_load_energy_j: 0.0,
-            pairs_used: BTreeSet::new(),
-            swap_count: 0,
+            agent,
         };
         // Make the initial model resident; its load cost is charged to the
         // first processed frame.
         let outcome = runtime
             .loader
-            .ensure_loaded(&mut runtime.engine, current)
+            .ensure_loaded(&mut runtime.engine, runtime.agent.current_pair())
             .map_err(ShiftError::from)?;
-        runtime.pending_load_time_s = outcome.load_time_s;
-        runtime.pending_load_energy_j = outcome.load_energy_j;
+        runtime
+            .agent
+            .charge_pending_load(outcome.load_time_s, outcome.load_energy_j);
         Ok(runtime)
     }
 
     /// The pair currently selected for execution.
     pub fn current_pair(&self) -> CandidatePair {
-        self.current
+        self.agent.current_pair()
     }
 
     /// The scheduler (for inspection in tests and ablations).
     pub fn scheduler(&self) -> &Scheduler {
-        &self.scheduler
+        self.agent.scheduler()
     }
 
     /// The execution engine (for inspecting telemetry).
@@ -126,12 +281,12 @@ impl ShiftRuntime {
 
     /// Number of model/accelerator swaps performed so far.
     pub fn swap_count(&self) -> u64 {
-        self.swap_count
+        self.agent.swap_count()
     }
 
     /// Distinct (model, accelerator) pairs used so far.
     pub fn pairs_used(&self) -> usize {
-        self.pairs_used.len()
+        self.agent.pairs_used()
     }
 
     /// Processes a single frame: schedule, (re)load if needed, run inference,
@@ -141,21 +296,14 @@ impl ShiftRuntime {
     ///
     /// Propagates loading and execution errors from the SoC simulator.
     pub fn process_frame(&mut self, frame: &Frame) -> Result<FrameOutcome, ShiftError> {
-        let config = self.scheduler.config().clone();
-
         // --- Context detection and scheduling. ---
-        let similarity = self
-            .detector
-            .similarity(frame, self.last_detection_bbox().as_ref());
-        let decision = self
-            .scheduler
-            .schedule(self.current, self.last_confidence, similarity);
+        let decision = self.agent.decide(frame);
 
         // --- Dynamic model loading. ---
-        let mut load_time = std::mem::take(&mut self.pending_load_time_s);
-        let mut load_energy = std::mem::take(&mut self.pending_load_energy_j);
+        let current = self.agent.current_pair();
+        let (mut load_time, mut load_energy) = self.agent.take_pending_load();
         let mut swapped = false;
-        if decision.pair != self.current
+        if decision.pair != current
             || !self
                 .engine
                 .is_loaded(decision.pair.model, decision.pair.accelerator)
@@ -163,43 +311,25 @@ impl ShiftRuntime {
             let outcome = self.loader.ensure_loaded(&mut self.engine, decision.pair)?;
             load_time += outcome.load_time_s;
             load_energy += outcome.load_energy_j;
-            if decision.pair != self.current || outcome.loaded {
-                swapped = true;
-                self.swap_count += 1;
-            }
+            swapped = decision.pair != current || outcome.loaded;
         } else {
             self.loader.touch(decision.pair);
         }
-        self.current = decision.pair;
-        self.pairs_used.insert(decision.pair);
 
         // --- Inference. ---
         let report =
             self.engine
                 .run_inference(decision.pair.model, decision.pair.accelerator, frame)?;
-        let detection = report.result.detection;
-        let confidence = report.result.confidence();
-        let iou = report.result.iou_against(frame.truth.as_ref());
 
         // --- Bookkeeping for the next frame. ---
-        self.detector
-            .update(frame, detection.as_ref().map(|d| &d.bbox));
-        self.last_confidence = confidence;
-        self.last_detection = detection;
-
-        Ok(FrameOutcome {
-            frame_index: frame.index,
-            pair: decision.pair,
-            detection,
-            confidence,
-            iou,
-            success: iou >= 0.5,
-            latency_s: config.scheduler_overhead_s + load_time + report.latency_s,
-            energy_j: config.scheduler_overhead_energy_j() + load_energy + report.energy_j,
+        let load = LoadCharge {
+            time_s: load_time,
+            energy_j: load_energy,
             swapped,
-            rescheduled: decision.rescheduled,
-            similarity: decision.similarity,
-        })
+        };
+        Ok(self
+            .agent
+            .complete(frame, decision.pair, &decision, &report, load, 0.0))
     }
 
     /// Runs the runtime over an entire frame stream.
@@ -216,10 +346,6 @@ impl ShiftRuntime {
             outcomes.push(self.process_frame(&frame)?);
         }
         Ok(outcomes)
-    }
-
-    fn last_detection_bbox(&self) -> Option<shift_video::BoundingBox> {
-        self.last_detection.map(|d| d.bbox)
     }
 }
 

@@ -145,6 +145,26 @@ impl Scheduler {
         self.reschedule_count
     }
 
+    /// Normalized, inverted energy score of `pair` in `[0, 1]` (1 marks the
+    /// most efficient candidate), or `None` for a pair outside the candidate
+    /// set.
+    pub fn energy_score_of(&self, pair: CandidatePair) -> Option<f64> {
+        self.energy_score.get(&pair).copied()
+    }
+
+    /// Normalized, inverted latency score of `pair` in `[0, 1]` (1 marks the
+    /// fastest candidate), or `None` for a pair outside the candidate set.
+    pub fn latency_score_of(&self, pair: CandidatePair) -> Option<f64> {
+        self.latency_score.get(&pair).copied()
+    }
+
+    /// The characterized reference accuracy (mean IoU) of `model`: the value
+    /// the scheduler falls back to when the confidence graph reaches no
+    /// prediction for the model within the distance threshold.
+    pub fn reference_accuracy(&self, model: ModelId) -> Option<f64> {
+        self.fallback_accuracy.get(&model).copied()
+    }
+
     /// A reasonable initial pair: the most accurate model, placed on its most
     /// energy-efficient allowed accelerator (mirrors a deployment that starts
     /// from the strongest detector before any context is known).

@@ -11,13 +11,14 @@
 //! Artifacts: `table1`, `table3`, `table4`, `fig1`, `fig2`, `fig3`, `fig4`,
 //! `fig5`, `headline` (the paper's artifacts, collectively `all`), plus the
 //! ablation studies `ablation-predictor`, `ablation-precision`,
-//! `ablation-powermode` and `ablation-relatedwork` (collectively
+//! `ablation-powermode`, `ablation-relatedwork`, the `extended` scenario
+//! table and the `fleet` multi-stream scaling experiment (collectively
 //! `ablations`). `--quick` uses the reduced dataset and scaled-down scenarios
 //! (useful for smoke tests); `--seed N` changes the simulation seed.
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, extended, fig1, fig2, fig3, fig4, fig5, headline, table1, table3, table4,
+    ablations, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, table1, table3, table4,
 };
 use std::process::ExitCode;
 
@@ -25,15 +26,16 @@ const PAPER_ARTIFACTS: [&str; 9] = [
     "table1", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5", "headline",
 ];
 
-const ABLATION_ARTIFACTS: [&str; 5] = [
+const ABLATION_ARTIFACTS: [&str; 6] = [
     "ablation-predictor",
     "ablation-precision",
     "ablation-powermode",
     "ablation-relatedwork",
     "extended",
+    "fleet",
 ];
 
-const ARTIFACTS: [&str; 14] = [
+const ARTIFACTS: [&str; 15] = [
     "table1",
     "table3",
     "table4",
@@ -48,6 +50,7 @@ const ARTIFACTS: [&str; 14] = [
     "ablation-powermode",
     "ablation-relatedwork",
     "extended",
+    "fleet",
 ];
 
 fn main() -> ExitCode {
@@ -117,6 +120,7 @@ fn main() -> ExitCode {
             "ablation-powermode" => ablations::power_mode_table(&ctx),
             "ablation-relatedwork" => ablations::related_work_table(&ctx),
             "extended" => extended::generate(&ctx),
+            "fleet" => fleet::generate(&ctx),
             "fig5" => {
                 if quick {
                     fig5::generate_with_grid(&ctx, &fig5::SweepGrid::quick())

@@ -21,6 +21,10 @@
 //! vs cheaper accuracy predictors, quantized single-model deployment vs
 //! multi-model scheduling, platform DVFS power modes, and the offloading /
 //! input-scaling / frame-skipping policies from the related-work discussion.
+//! [`fleet`] scales past the paper's one-stream-per-SoC deployment entirely:
+//! it sweeps 1 → 16 concurrent mixed-difficulty streams over one shared SoC
+//! and tabulates energy/frame, tail latency, throughput and per-stream
+//! accuracy-goal attainment as contention grows.
 //!
 //! Run everything from the command line with
 //! `cargo run --release -p shift-experiments --bin repro -- all`.
@@ -41,6 +45,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet;
 pub mod headline;
 pub mod table1;
 pub mod table3;

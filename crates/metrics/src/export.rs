@@ -21,7 +21,7 @@ success_rate,non_gpu_fraction,model_swaps,pairs_used,total_energy_j,total_latenc
 
 /// Escapes one CSV field: fields containing commas, quotes or newlines are
 /// quoted, and embedded quotes are doubled.
-fn csv_escape(field: &str) -> String {
+pub(crate) fn csv_escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {
@@ -50,7 +50,7 @@ fn json_escape(value: &str) -> String {
 
 /// Formats a float for export: finite values print with full round-trip
 /// precision, non-finite values become `0`.
-fn number(value: f64) -> String {
+pub(crate) fn number(value: f64) -> String {
     if value.is_finite() {
         format!("{value}")
     } else {

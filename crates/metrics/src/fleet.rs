@@ -1,0 +1,349 @@
+//! Fleet summaries: per-stream and fleet-aggregate statistics for
+//! multi-stream runs.
+//!
+//! A fleet run reduces to one [`FrameRecord`] sequence (plus the per-frame
+//! queueing delays) per stream. [`StreamSummary`] aggregates one stream —
+//! including the tail latencies that only matter once streams contend — and
+//! [`FleetSummary`] aggregates the whole fleet: joules per stream, frames
+//! per virtual second, and how many streams met their individual accuracy
+//! goal.
+//!
+//! Both types serialize to stable CSV rows (full round-trip float precision)
+//! so golden tests can compare fleet output byte-for-byte across runs.
+
+use crate::export::{csv_escape, number};
+use crate::record::FrameRecord;
+use crate::stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`StreamSummary::csv_row`].
+pub const STREAM_CSV_HEADER: &str = "label,accuracy_goal,frames,mean_iou,success_rate,\
+mean_latency_s,p50_latency_s,p99_latency_s,mean_queue_wait_s,mean_energy_j,total_energy_j,\
+model_swaps,meets_goal";
+
+/// Header row matching [`FleetSummary::csv_row`].
+pub const FLEET_CSV_HEADER: &str = "streams,frames,p50_latency_s,p99_latency_s,\
+mean_queue_wait_s,energy_per_frame_j,energy_per_stream_j,total_energy_j,makespan_s,\
+throughput_fps,streams_meeting_goal";
+
+/// Aggregated statistics of one stream inside a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSummary {
+    /// Stream label.
+    pub label: String,
+    /// The stream's individual accuracy goal.
+    pub accuracy_goal: f64,
+    /// Number of frames processed.
+    pub frames: usize,
+    /// Mean IoU across the stream's frames.
+    pub mean_iou: f64,
+    /// Fraction of frames with IoU >= 0.5.
+    pub success_rate: f64,
+    /// Mean end-to-end latency (including queueing), seconds.
+    pub mean_latency_s: f64,
+    /// Median end-to-end latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_latency_s: f64,
+    /// Mean cross-stream queueing delay per frame, seconds.
+    pub mean_queue_wait_s: f64,
+    /// Mean energy per frame, joules.
+    pub mean_energy_j: f64,
+    /// Total energy over the stream, joules.
+    pub total_energy_j: f64,
+    /// Number of model/accelerator swaps.
+    pub model_swaps: u64,
+    /// Whether the stream met its accuracy goal (`mean_iou >=
+    /// accuracy_goal`).
+    pub meets_goal: bool,
+}
+
+impl StreamSummary {
+    /// Aggregates one stream from its per-frame records and queueing delays.
+    /// `queue_waits_s` may be empty (no queueing information) or must have
+    /// one entry per record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue_waits_s` is non-empty but its length differs from
+    /// `records`.
+    pub fn new(
+        label: impl Into<String>,
+        accuracy_goal: f64,
+        records: &[FrameRecord],
+        queue_waits_s: &[f64],
+    ) -> Self {
+        assert!(
+            queue_waits_s.is_empty() || queue_waits_s.len() == records.len(),
+            "queue waits must be absent or one per record"
+        );
+        let label = label.into();
+        if records.is_empty() {
+            return Self {
+                label,
+                accuracy_goal,
+                frames: 0,
+                mean_iou: 0.0,
+                success_rate: 0.0,
+                mean_latency_s: 0.0,
+                p50_latency_s: 0.0,
+                p99_latency_s: 0.0,
+                mean_queue_wait_s: 0.0,
+                mean_energy_j: 0.0,
+                total_energy_j: 0.0,
+                model_swaps: 0,
+                meets_goal: false,
+            };
+        }
+        let n = records.len() as f64;
+        let latencies: Vec<f64> = records.iter().map(|r| r.latency_s).collect();
+        let total_energy: f64 = records.iter().map(|r| r.energy_j).sum();
+        let mean_iou = records.iter().map(|r| r.iou).sum::<f64>() / n;
+        Self {
+            label,
+            accuracy_goal,
+            frames: records.len(),
+            mean_iou,
+            success_rate: records.iter().filter(|r| r.is_success()).count() as f64 / n,
+            mean_latency_s: latencies.iter().sum::<f64>() / n,
+            p50_latency_s: percentile(&latencies, 50.0),
+            p99_latency_s: percentile(&latencies, 99.0),
+            mean_queue_wait_s: if queue_waits_s.is_empty() {
+                0.0
+            } else {
+                queue_waits_s.iter().sum::<f64>() / n
+            },
+            mean_energy_j: total_energy / n,
+            total_energy_j: total_energy,
+            model_swaps: records.iter().filter(|r| r.swapped).count() as u64,
+            meets_goal: mean_iou >= accuracy_goal,
+        }
+    }
+
+    /// Renders the summary as one CSV row matching [`STREAM_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&self.label),
+            number(self.accuracy_goal),
+            self.frames,
+            number(self.mean_iou),
+            number(self.success_rate),
+            number(self.mean_latency_s),
+            number(self.p50_latency_s),
+            number(self.p99_latency_s),
+            number(self.mean_queue_wait_s),
+            number(self.mean_energy_j),
+            number(self.total_energy_j),
+            self.model_swaps,
+            self.meets_goal
+        );
+        out
+    }
+}
+
+/// Aggregated statistics of a whole fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Number of streams in the fleet.
+    pub streams: usize,
+    /// Total frames processed across all streams.
+    pub frames: usize,
+    /// Median end-to-end latency across every frame of every stream,
+    /// seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency across every frame, seconds.
+    pub p99_latency_s: f64,
+    /// Mean queueing delay per frame across the fleet, seconds.
+    pub mean_queue_wait_s: f64,
+    /// Aggregate energy per frame, joules.
+    pub energy_per_frame_j: f64,
+    /// Aggregate energy per stream, joules.
+    pub energy_per_stream_j: f64,
+    /// Total energy over the run, joules.
+    pub total_energy_j: f64,
+    /// Virtual completion time of the last frame, seconds.
+    pub makespan_s: f64,
+    /// Fleet throughput: frames per virtual second of makespan.
+    pub throughput_fps: f64,
+    /// Number of streams whose `mean_iou` met their accuracy goal.
+    pub streams_meeting_goal: usize,
+}
+
+impl FleetSummary {
+    /// Aggregates a fleet from its per-stream summaries, the pooled
+    /// latencies of every frame, and the run's makespan.
+    pub fn from_streams(
+        streams: &[StreamSummary],
+        all_latencies_s: &[f64],
+        makespan_s: f64,
+    ) -> Self {
+        let frames: usize = streams.iter().map(|s| s.frames).sum();
+        let total_energy: f64 = streams.iter().map(|s| s.total_energy_j).sum();
+        let total_wait: f64 = streams
+            .iter()
+            .map(|s| s.mean_queue_wait_s * s.frames as f64)
+            .sum();
+        Self {
+            streams: streams.len(),
+            frames,
+            p50_latency_s: percentile(all_latencies_s, 50.0),
+            p99_latency_s: percentile(all_latencies_s, 99.0),
+            mean_queue_wait_s: if frames == 0 {
+                0.0
+            } else {
+                total_wait / frames as f64
+            },
+            energy_per_frame_j: if frames == 0 {
+                0.0
+            } else {
+                total_energy / frames as f64
+            },
+            energy_per_stream_j: if streams.is_empty() {
+                0.0
+            } else {
+                total_energy / streams.len() as f64
+            },
+            total_energy_j: total_energy,
+            makespan_s,
+            throughput_fps: if makespan_s > 0.0 {
+                frames as f64 / makespan_s
+            } else {
+                0.0
+            },
+            streams_meeting_goal: streams.iter().filter(|s| s.meets_goal).count(),
+        }
+    }
+
+    /// Renders the summary as one CSV row matching [`FLEET_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            self.streams,
+            self.frames,
+            number(self.p50_latency_s),
+            number(self.p99_latency_s),
+            number(self.mean_queue_wait_s),
+            number(self.energy_per_frame_j),
+            number(self.energy_per_stream_j),
+            number(self.total_energy_j),
+            number(self.makespan_s),
+            number(self.throughput_fps),
+            self.streams_meeting_goal
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    fn record(index: usize, iou: f64, latency_s: f64, energy_j: f64, swapped: bool) -> FrameRecord {
+        FrameRecord::new(
+            index,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            iou,
+            latency_s,
+            energy_j,
+            swapped,
+        )
+    }
+
+    #[test]
+    fn stream_summary_aggregates_and_checks_goal() {
+        let records = vec![
+            record(0, 0.8, 0.10, 2.0, true),
+            record(1, 0.6, 0.20, 1.0, false),
+            record(2, 0.1, 0.30, 1.0, false),
+        ];
+        let summary = StreamSummary::new("s0", 0.4, &records, &[0.0, 0.1, 0.2]);
+        assert_eq!(summary.frames, 3);
+        assert!((summary.mean_iou - 0.5).abs() < 1e-12);
+        assert!(summary.meets_goal);
+        assert!((summary.mean_queue_wait_s - 0.1).abs() < 1e-12);
+        assert!((summary.total_energy_j - 4.0).abs() < 1e-12);
+        assert_eq!(summary.model_swaps, 1);
+        assert!((summary.p50_latency_s - 0.2).abs() < 1e-12);
+        assert!(summary.p99_latency_s <= 0.3 + 1e-12);
+        let strict = StreamSummary::new("s0", 0.6, &records, &[]);
+        assert!(!strict.meets_goal);
+        assert_eq!(strict.mean_queue_wait_s, 0.0);
+    }
+
+    #[test]
+    fn empty_stream_summary_is_zeroed() {
+        let summary = StreamSummary::new("empty", 0.25, &[], &[]);
+        assert_eq!(summary.frames, 0);
+        assert!(!summary.meets_goal);
+        assert_eq!(summary.p99_latency_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one per record")]
+    fn mismatched_queue_waits_panic() {
+        let records = vec![record(0, 0.5, 0.1, 1.0, false)];
+        let _ = StreamSummary::new("bad", 0.25, &records, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fleet_summary_aggregates_streams() {
+        let a = StreamSummary::new(
+            "a",
+            0.25,
+            &[
+                record(0, 0.8, 0.1, 2.0, false),
+                record(1, 0.8, 0.1, 2.0, false),
+            ],
+            &[0.0, 0.1],
+        );
+        let b = StreamSummary::new("b", 0.9, &[record(0, 0.5, 0.3, 4.0, true)], &[0.3]);
+        let fleet = FleetSummary::from_streams(&[a, b], &[0.1, 0.1, 0.3], 1.5);
+        assert_eq!(fleet.streams, 2);
+        assert_eq!(fleet.frames, 3);
+        assert_eq!(fleet.streams_meeting_goal, 1);
+        assert!((fleet.total_energy_j - 8.0).abs() < 1e-12);
+        assert!((fleet.energy_per_stream_j - 4.0).abs() < 1e-12);
+        assert!((fleet.energy_per_frame_j - 8.0 / 3.0).abs() < 1e-12);
+        assert!((fleet.throughput_fps - 2.0).abs() < 1e-12);
+        let expected_wait = (0.1 + 0.3) / 3.0;
+        assert!((fleet.mean_queue_wait_s - expected_wait).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_summary_is_zeroed() {
+        let fleet = FleetSummary::from_streams(&[], &[], 0.0);
+        assert_eq!(fleet.streams, 0);
+        assert_eq!(fleet.throughput_fps, 0.0);
+        assert_eq!(fleet.energy_per_frame_j, 0.0);
+    }
+
+    #[test]
+    fn csv_rows_match_headers_and_are_stable() {
+        let records = vec![record(0, 0.5, 0.1, 1.0, false)];
+        let stream = StreamSummary::new("s,0", 0.25, &records, &[0.05]);
+        let row = stream.csv_row();
+        assert!(
+            row.starts_with("\"s,0\","),
+            "labels containing commas are quoted: {row}"
+        );
+        assert_eq!(row, stream.csv_row(), "serialization is deterministic");
+        let plain = StreamSummary::new("s0", 0.25, &records, &[0.05]);
+        assert_eq!(
+            plain.csv_row().split(',').count(),
+            STREAM_CSV_HEADER.split(',').count()
+        );
+        let fleet = FleetSummary::from_streams(&[stream], &[0.1], 0.5);
+        let row = fleet.csv_row();
+        assert_eq!(row.split(',').count(), FLEET_CSV_HEADER.split(',').count());
+        assert_eq!(row, fleet.csv_row());
+    }
+}

@@ -9,7 +9,10 @@
 //! Table III (average IoU, time, energy, success rate, non-GPU share, model
 //! swaps, pairs used), [`Timeline`] produces the per-frame efficiency series
 //! behind Figures 2-4, and [`report`] renders aligned text / markdown tables
-//! for the reproduction harness.
+//! for the reproduction harness. For multi-stream (fleet) runs,
+//! [`StreamSummary`] and [`FleetSummary`] add the statistics that only
+//! matter under contention: tail latencies (p50/p99), queueing delay,
+//! joules per stream and per-stream accuracy-goal attainment.
 //!
 //! ```
 //! use shift_metrics::{FrameRecord, RunSummary};
@@ -27,6 +30,7 @@
 
 pub mod curve;
 pub mod export;
+pub mod fleet;
 pub mod record;
 pub mod report;
 pub mod stats;
@@ -40,6 +44,7 @@ pub use curve::{
 pub use export::{
     records_to_csv, records_to_json, series_to_csv, summaries_to_csv, summaries_to_json,
 };
+pub use fleet::{FleetSummary, StreamSummary, FLEET_CSV_HEADER, STREAM_CSV_HEADER};
 pub use record::FrameRecord;
 pub use report::Table;
 pub use stats::{mean, pearson_correlation, percentile, std_dev};

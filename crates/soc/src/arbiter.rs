@@ -1,0 +1,131 @@
+//! Shared-memory arbitration for multi-stream (fleet) execution.
+//!
+//! When one LRU loader manages the memory pools on behalf of many streams,
+//! its eviction set spans every stream's models — which means one stream's
+//! miss can evict the model another stream is *actively running*. The
+//! [`MemoryArbiter`] prevents that pathology: each stream *pins* its current
+//! (model, accelerator) pair, and the fleet's loader treats pinned models as
+//! protected eviction victims of last resort.
+//!
+//! Pins are reference counts, so two streams resident on the same pair (the
+//! cross-stream reuse case) each hold their own pin and the model stays
+//! protected until both release it.
+
+use crate::accelerator::AcceleratorId;
+use serde::{Deserialize, Serialize};
+use shift_models::ModelId;
+use std::collections::BTreeMap;
+
+/// Reference-counted pins of (model, accelerator) pairs in active use.
+///
+/// ```
+/// use shift_soc::{AcceleratorId, MemoryArbiter};
+/// use shift_models::ModelId;
+///
+/// let mut arbiter = MemoryArbiter::new();
+/// arbiter.pin(ModelId::YoloV7, AcceleratorId::Gpu);
+/// arbiter.pin(ModelId::YoloV7, AcceleratorId::Gpu); // second stream, same pair
+/// arbiter.unpin(ModelId::YoloV7, AcceleratorId::Gpu);
+/// assert!(arbiter.is_pinned(ModelId::YoloV7, AcceleratorId::Gpu));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryArbiter {
+    pins: BTreeMap<(AcceleratorId, ModelId), usize>,
+}
+
+impl MemoryArbiter {
+    /// Creates an arbiter with nothing pinned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one pin to (`model`, `accelerator`).
+    pub fn pin(&mut self, model: ModelId, accelerator: AcceleratorId) {
+        *self.pins.entry((accelerator, model)).or_insert(0) += 1;
+    }
+
+    /// Removes one pin from (`model`, `accelerator`). Unpinning a pair that
+    /// holds no pins is a no-op.
+    pub fn unpin(&mut self, model: ModelId, accelerator: AcceleratorId) {
+        if let Some(count) = self.pins.get_mut(&(accelerator, model)) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&(accelerator, model));
+            }
+        }
+    }
+
+    /// Whether (`model`, `accelerator`) holds at least one pin.
+    pub fn is_pinned(&self, model: ModelId, accelerator: AcceleratorId) -> bool {
+        self.pins.contains_key(&(accelerator, model))
+    }
+
+    /// Number of pins held by (`model`, `accelerator`).
+    pub fn pin_count(&self, model: ModelId, accelerator: AcceleratorId) -> usize {
+        self.pins.get(&(accelerator, model)).copied().unwrap_or(0)
+    }
+
+    /// The models pinned on `accelerator`, in a stable order.
+    pub fn pinned_models(&self, accelerator: AcceleratorId) -> Vec<ModelId> {
+        self.pins
+            .keys()
+            .filter(|(acc, _)| *acc == accelerator)
+            .map(|(_, model)| *model)
+            .collect()
+    }
+
+    /// Total number of distinct pinned (model, accelerator) pairs.
+    pub fn pinned_pairs(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_and_unpin_round_trip() {
+        let mut arbiter = MemoryArbiter::new();
+        assert!(!arbiter.is_pinned(ModelId::YoloV7, AcceleratorId::Gpu));
+        arbiter.pin(ModelId::YoloV7, AcceleratorId::Gpu);
+        assert!(arbiter.is_pinned(ModelId::YoloV7, AcceleratorId::Gpu));
+        arbiter.unpin(ModelId::YoloV7, AcceleratorId::Gpu);
+        assert!(!arbiter.is_pinned(ModelId::YoloV7, AcceleratorId::Gpu));
+        assert_eq!(arbiter.pinned_pairs(), 0);
+    }
+
+    #[test]
+    fn pins_are_reference_counted() {
+        let mut arbiter = MemoryArbiter::new();
+        arbiter.pin(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        arbiter.pin(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        assert_eq!(
+            arbiter.pin_count(ModelId::YoloV7Tiny, AcceleratorId::Dla0),
+            2
+        );
+        arbiter.unpin(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        assert!(arbiter.is_pinned(ModelId::YoloV7Tiny, AcceleratorId::Dla0));
+        arbiter.unpin(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        assert!(!arbiter.is_pinned(ModelId::YoloV7Tiny, AcceleratorId::Dla0));
+    }
+
+    #[test]
+    fn pins_are_per_accelerator() {
+        let mut arbiter = MemoryArbiter::new();
+        arbiter.pin(ModelId::YoloV7, AcceleratorId::Gpu);
+        assert!(!arbiter.is_pinned(ModelId::YoloV7, AcceleratorId::Dla0));
+        assert_eq!(
+            arbiter.pinned_models(AcceleratorId::Gpu),
+            vec![ModelId::YoloV7]
+        );
+        assert!(arbiter.pinned_models(AcceleratorId::Dla0).is_empty());
+    }
+
+    #[test]
+    fn unpinning_an_unpinned_pair_is_a_noop() {
+        let mut arbiter = MemoryArbiter::new();
+        arbiter.unpin(ModelId::YoloV7, AcceleratorId::Gpu);
+        assert_eq!(arbiter.pinned_pairs(), 0);
+    }
+}

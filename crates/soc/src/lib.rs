@@ -33,20 +33,24 @@
 //! ```
 
 pub mod accelerator;
+pub mod arbiter;
 pub mod dvfs;
 pub mod engine;
 pub mod memory;
 pub mod network;
+pub mod occupancy;
 pub mod platform;
 pub mod power;
 pub mod telemetry;
 pub mod thermal;
 
 pub use accelerator::{AcceleratorId, AcceleratorSpec};
+pub use arbiter::MemoryArbiter;
 pub use dvfs::PowerMode;
 pub use engine::{ExecutionEngine, InferenceReport, LoadReport};
 pub use memory::MemoryPool;
 pub use network::{NetworkLink, TransferReport};
+pub use occupancy::{OccupancyTracker, Reservation};
 pub use platform::Platform;
 pub use power::{PowerModel, PowerRail};
 pub use telemetry::{EnergyBreakdown, Telemetry};

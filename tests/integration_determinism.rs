@@ -6,9 +6,11 @@
 
 use proptest::prelude::*;
 use shift_baselines::{MarlinConfig, OracleObjective};
+use shift_core::fleet::{FleetConfig, FleetRuntime};
 use shift_core::{characterize, ShiftConfig, ShiftRuntime};
 use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
+use shift_metrics::{FLEET_CSV_HEADER, STREAM_CSV_HEADER};
 use shift_models::{ModelZoo, ResponseModel};
 use shift_soc::{ExecutionEngine, Platform};
 use shift_video::{BoundingBox, CharacterizationDataset, GrayImage, Scenario};
@@ -58,6 +60,68 @@ fn identical_contexts_produce_identical_baseline_runs() {
     assert_eq!(
         ctx_a.run_shift(&scenario_a, paper_shift_config()).unwrap(),
         ctx_b.run_shift(&scenario_b, paper_shift_config()).unwrap()
+    );
+}
+
+/// Golden determinism: serialize the complete single-stream
+/// [`FrameOutcome`] sequence, the complete fleet outcome sequence and the
+/// fleet summary CSV from fixed seeds, twice, and require the bytes to be
+/// identical. Any nondeterminism anywhere in the stack (iteration order,
+/// uninitialized state, float reassociation) shows up here as a byte diff.
+///
+/// [`FrameOutcome`]: shift_core::FrameOutcome
+#[test]
+fn golden_serialized_output_is_byte_identical_across_runs() {
+    let run = || -> (String, String, String) {
+        let ctx = ExperimentContext::quick(77);
+
+        // Single-stream runtime: the full debug serialization of every
+        // outcome field (pairs, detections, confidences, costs).
+        let scenario = ctx.scaled(Scenario::scenario_1());
+        let mut runtime =
+            ShiftRuntime::new(ctx.engine(), ctx.characterization(), paper_shift_config())
+                .expect("runtime builds");
+        let outcomes = runtime.run(scenario.stream()).expect("run completes");
+        let shift_bytes = format!("{outcomes:?}");
+
+        // Fleet runtime: the raw fleet outcomes...
+        let specs = shift_experiments::fleet::stream_specs(&ctx, 3);
+        let mut fleet = FleetRuntime::new(
+            ctx.engine(),
+            ctx.characterization(),
+            FleetConfig::round_robin(),
+            specs,
+        )
+        .expect("fleet builds");
+        let fleet_bytes = format!("{:?}", fleet.run_to_completion().expect("fleet completes"));
+
+        // ...and the aggregated per-stream + fleet summary CSV.
+        let point = shift_experiments::fleet::run_fleet(&ctx, 3).expect("fleet runs");
+        let mut csv = String::from(STREAM_CSV_HEADER);
+        csv.push('\n');
+        for stream in &point.per_stream {
+            csv.push_str(&stream.csv_row());
+            csv.push('\n');
+        }
+        csv.push_str(FLEET_CSV_HEADER);
+        csv.push('\n');
+        csv.push_str(&point.fleet.csv_row());
+        (shift_bytes, fleet_bytes, csv)
+    };
+    let (shift_a, fleet_a, csv_a) = run();
+    let (shift_b, fleet_b, csv_b) = run();
+    assert_eq!(
+        shift_a, shift_b,
+        "single-stream serialization must not drift"
+    );
+    assert_eq!(fleet_a, fleet_b, "fleet serialization must not drift");
+    assert_eq!(csv_a, csv_b, "fleet summary CSV must not drift");
+    // The golden strings are non-trivial (real frames, real columns).
+    assert!(shift_a.len() > 1000);
+    assert!(fleet_a.len() > 1000);
+    assert!(
+        csv_a.lines().count() == 3 + 3,
+        "3 stream rows + 2 headers + 1 fleet row"
     );
 }
 

@@ -4,7 +4,8 @@
 //! failure removes the only viable resource).
 
 use shift_baselines::{OffloadConfig, OffloadRuntime, SingleModelRuntime};
-use shift_core::{ShiftConfig, ShiftRuntime};
+use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::{Knobs, ShiftConfig, ShiftRuntime};
 use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
 use shift_models::{ModelId, ModelZoo, ResponseModel};
@@ -172,6 +173,151 @@ fn memory_pressure_forces_eviction_but_never_overcommits() {
         .is_ok());
     let pool = engine.pool(AcceleratorId::Gpu).unwrap();
     assert!(pool.used_mb() <= pool.capacity_mb());
+}
+
+#[test]
+fn fleet_under_memory_pressure_degrades_but_never_starves_or_panics() {
+    // Four streams confined to a GPU whose 1536 MB pool is pre-filled with
+    // 1450 MB of models loaded by another tenant: no stream's model fits
+    // alongside the residents, so the shared loader must evict its way in
+    // (never a model a peer is actively running, unless nothing else
+    // remains) or the victim stream must degrade to a smaller model — but
+    // every stream must produce every frame.
+    let ctx = ExperimentContext::quick(51);
+    let mut engine = ctx.engine();
+    for squatter in [ModelId::YoloV7E6E, ModelId::YoloV7X, ModelId::SsdResnet50] {
+        engine.load_model(squatter, AcceleratorId::Gpu).unwrap();
+    }
+    let knob_sets = [
+        Knobs::accuracy_first(),
+        Knobs::paper_defaults(),
+        Knobs::energy_saver(),
+        Knobs::low_latency(),
+    ];
+    let scenarios = [
+        Scenario::scenario_5(),
+        Scenario::scenario_1(),
+        Scenario::scenario_3(),
+        Scenario::scenario_4(),
+    ];
+    let specs: Vec<StreamSpec> = knob_sets
+        .iter()
+        .zip(scenarios.iter())
+        .enumerate()
+        .map(|(i, (knobs, scenario))| {
+            let scenario = ctx.scaled(scenario.clone());
+            StreamSpec::new(
+                format!("pressure-{i}"),
+                scenario,
+                paper_shift_config()
+                    .with_knobs(*knobs)
+                    .with_allowed_accelerators(vec![AcceleratorId::Gpu]),
+            )
+        })
+        .collect();
+    let expected: Vec<usize> = specs.iter().map(|s| s.scenario.num_frames()).collect();
+    let mut fleet = FleetRuntime::new(
+        engine,
+        ctx.characterization(),
+        FleetConfig::round_robin(),
+        specs,
+    )
+    .expect("fleet builds");
+    let outcomes = fleet.run_to_completion().expect("no stream may fail");
+
+    // No starvation: every stream produced every frame of its scenario.
+    for (stream, &frames) in expected.iter().enumerate() {
+        assert_eq!(
+            fleet.frames_processed(stream),
+            frames,
+            "stream {stream} starved"
+        );
+    }
+    assert_eq!(outcomes.len(), expected.iter().sum::<usize>());
+    // The pool genuinely thrashed: getting past the squatters forced
+    // evictions.
+    assert!(
+        fleet.engine().telemetry().eviction_count > 0,
+        "a pre-filled pool must force evictions"
+    );
+    // Degraded, not blinded: every stream still detects.
+    for stream in 0..expected.len() {
+        let ious: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.stream == stream)
+            .map(|o| o.outcome.iou)
+            .collect();
+        let mean = ious.iter().sum::<f64>() / ious.len() as f64;
+        assert!(mean > 0.15, "stream {stream} went blind: mean IoU {mean}");
+    }
+    // The GPU pool never overcommitted while all of this happened.
+    let pool = fleet.engine().pool(AcceleratorId::Gpu).unwrap();
+    assert!(pool.used_mb() <= pool.capacity_mb() + 1e-9);
+}
+
+#[test]
+fn fleet_with_one_impossible_stream_fails_fast_at_construction() {
+    // A stream whose configuration admits no accelerator at all must be
+    // rejected when the fleet is built — not discovered mid-run after its
+    // peers have already produced half their frames.
+    let ctx = ExperimentContext::quick(52);
+    let specs = vec![
+        StreamSpec::new(
+            "fine",
+            ctx.scaled(Scenario::scenario_3()),
+            paper_shift_config(),
+        ),
+        StreamSpec::new(
+            "impossible",
+            ctx.scaled(Scenario::scenario_2()),
+            paper_shift_config().with_allowed_accelerators(Vec::new()),
+        ),
+    ];
+    let err = FleetRuntime::new(
+        ctx.engine(),
+        ctx.characterization(),
+        FleetConfig::round_robin(),
+        specs,
+    )
+    .err();
+    assert!(err.is_some(), "an unschedulable stream cannot join a fleet");
+}
+
+#[test]
+fn fleet_survives_an_accelerator_going_offline_at_construction() {
+    // The GPU is fenced off before the fleet starts: every stream is
+    // restricted to the remaining engines and the run must still complete
+    // with detections intact (the multi-accelerator analogue of
+    // `shift_completes_when_restricted_to_non_gpu_accelerators`).
+    let ctx = ExperimentContext::quick(53);
+    let mut engine = ctx.engine();
+    engine.set_accelerator_online(AcceleratorId::Gpu, false);
+    let config = paper_shift_config().with_allowed_accelerators(vec![
+        AcceleratorId::Dla0,
+        AcceleratorId::Dla1,
+        AcceleratorId::OakD,
+    ]);
+    let specs: Vec<StreamSpec> = [Scenario::scenario_2(), Scenario::scenario_3()]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StreamSpec::new(format!("no-gpu-{i}"), ctx.scaled(s.clone()), config.clone()))
+        .collect();
+    let mut fleet = FleetRuntime::new(
+        engine,
+        ctx.characterization(),
+        FleetConfig::round_robin(),
+        specs,
+    )
+    .expect("fleet builds without the GPU");
+    let outcomes = fleet.run_to_completion().expect("run completes");
+    assert!(outcomes
+        .iter()
+        .all(|o| o.outcome.pair.accelerator != AcceleratorId::Gpu));
+    let mean_iou = outcomes.iter().map(|o| o.outcome.iou).sum::<f64>() / outcomes.len() as f64;
+    assert!(
+        mean_iou > 0.2,
+        "GPU-less fleet still detects, got {mean_iou}"
+    );
 }
 
 #[test]

@@ -1,0 +1,124 @@
+//! Property tests for the confidence graph (paper §III-A).
+//!
+//! For arbitrary seeded characterizations the graph must behave like the
+//! pure lookup structure the paper describes: `predict` is a deterministic
+//! function of (build inputs, query), its accuracies stay in `[0, 1]`, and
+//! models unreachable within the distance threshold are *absent* from the
+//! prediction — the scheduler then falls back to the model's characterized
+//! reference accuracy.
+
+use proptest::prelude::*;
+use shift_core::{
+    characterize, Characterization, ConfidenceGraph, GraphConfig, Scheduler, ShiftConfig,
+};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, Platform};
+use shift_video::CharacterizationDataset;
+use std::sync::OnceLock;
+
+/// Distinct characterization seeds sampled by the properties. Built once:
+/// characterizing the full zoo is expensive, and the properties only need
+/// *several arbitrary* characterizations, not a fresh one per case.
+const SEEDS: [u64; 3] = [5, 17, 91];
+
+fn characterizations() -> &'static Vec<Characterization> {
+    static CACHE: OnceLock<Vec<Characterization>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                let engine = ExecutionEngine::new(
+                    Platform::xavier_nx_with_oak(),
+                    ModelZoo::standard(),
+                    ResponseModel::new(seed),
+                );
+                characterize(&engine, &CharacterizationDataset::generate(150, seed))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `predict` is deterministic: the same query against the same graph —
+    /// and against a graph rebuilt from the same samples — yields identical
+    /// predictions.
+    #[test]
+    fn predict_is_deterministic(
+        seed_index in 0usize..3,
+        model_index in 0usize..8,
+        confidence in 0.0..1.0f64,
+        threshold in 0.0..1.2f64,
+    ) {
+        let characterization = &characterizations()[seed_index];
+        let config = GraphConfig::paper_defaults().with_distance_threshold(threshold);
+        let graph = ConfidenceGraph::build(&characterization.samples, config);
+        let rebuilt = ConfidenceGraph::build(&characterization.samples, config);
+        let model = ModelZoo::standard().specs()[model_index].id;
+        let first = graph.predict(model, confidence);
+        prop_assert_eq!(&first, &graph.predict(model, confidence));
+        prop_assert_eq!(&first, &rebuilt.predict(model, confidence));
+    }
+
+    /// Predicted accuracies stay in `[0, 1]` and consolidated distances stay
+    /// within the configured threshold.
+    #[test]
+    fn predictions_are_bounded(
+        seed_index in 0usize..3,
+        model_index in 0usize..8,
+        confidence in 0.0..1.0f64,
+        threshold in 0.0..1.2f64,
+    ) {
+        let characterization = &characterizations()[seed_index];
+        let config = GraphConfig::paper_defaults().with_distance_threshold(threshold);
+        let graph = ConfidenceGraph::build(&characterization.samples, config);
+        let model = ModelZoo::standard().specs()[model_index].id;
+        for prediction in graph.predict(model, confidence) {
+            prop_assert!((0.0..=1.0).contains(&prediction.accuracy));
+            prop_assert!(prediction.distance >= 0.0);
+            prop_assert!(prediction.distance <= threshold + 1e-9);
+        }
+    }
+
+    /// Beyond the distance threshold the graph predicts nothing for other
+    /// models (a zero threshold isolates every node), and the scheduler then
+    /// falls back to each model's characterized reference accuracy.
+    #[test]
+    fn unreachable_models_fall_back_to_reference_accuracy(
+        seed_index in 0usize..3,
+        model_index in 0usize..8,
+        confidence in 0.0..1.0f64,
+    ) {
+        let characterization = &characterizations()[seed_index];
+        let graph = ConfidenceGraph::build(
+            &characterization.samples,
+            GraphConfig::paper_defaults().with_distance_threshold(0.0),
+        );
+        let model = ModelZoo::standard().specs()[model_index].id;
+        let predictions = graph.predict(model, confidence);
+        // A zero threshold reaches only the queried model's own node.
+        for prediction in &predictions {
+            prop_assert_eq!(prediction.model, model);
+            prop_assert_eq!(prediction.distance, 0.0);
+        }
+        // Every model the graph cannot reach is scored by its reference
+        // accuracy: the scheduler's fallback equals the characterized mean
+        // IoU recorded in the traits.
+        let scheduler = Scheduler::new(
+            ShiftConfig::paper_defaults().with_distance_threshold(0.0),
+            characterization,
+            graph,
+        )
+        .expect("scheduler builds");
+        for (other, traits) in &characterization.traits {
+            if predictions.iter().any(|p| p.model == *other) {
+                continue;
+            }
+            let fallback = scheduler
+                .reference_accuracy(*other)
+                .expect("every characterized model has a reference accuracy");
+            prop_assert!((fallback - traits.mean_iou).abs() < 1e-12);
+        }
+    }
+}

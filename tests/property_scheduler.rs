@@ -1,0 +1,165 @@
+//! Property tests for the SHIFT scheduler (paper Algorithm 1).
+//!
+//! For arbitrary knobs, goals and confidences: the normalized energy and
+//! latency terms never leave `[0, 1]`; the chosen pair is always drawn from
+//! the candidate set and (with hysteresis disabled) maximizes the score; and
+//! the goal filter holds — whenever any candidate model satisfies the
+//! accuracy goal, the arg-max pair's model satisfies it too.
+
+use proptest::prelude::*;
+use shift_core::{
+    characterize, CandidatePair, Characterization, ConfidenceGraph, Knobs, Scheduler, ShiftConfig,
+};
+use shift_models::{ModelId, ModelZoo, ResponseModel};
+use shift_soc::{AcceleratorId, ExecutionEngine, Platform};
+use shift_video::CharacterizationDataset;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+const SEEDS: [u64; 3] = [3, 29, 64];
+
+fn characterizations() -> &'static Vec<Characterization> {
+    static CACHE: OnceLock<Vec<Characterization>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        SEEDS
+            .iter()
+            .map(|&seed| {
+                let engine = ExecutionEngine::new(
+                    Platform::xavier_nx_with_oak(),
+                    ModelZoo::standard(),
+                    ResponseModel::new(seed),
+                );
+                characterize(&engine, &CharacterizationDataset::generate(150, seed))
+            })
+            .collect()
+    })
+}
+
+fn build_scheduler(seed_index: usize, config: ShiftConfig) -> Scheduler {
+    let characterization = &characterizations()[seed_index];
+    let graph = ConfidenceGraph::build(&characterization.samples, config.graph_config());
+    Scheduler::new(config, characterization, graph).expect("scheduler builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The normalized, inverted energy and latency terms of every candidate
+    /// pair stay in `[0, 1]`, and each extreme (the cheapest / fastest pair)
+    /// is pinned to exactly 1.
+    #[test]
+    fn normalized_terms_never_leave_the_unit_interval(
+        seed_index in 0usize..3,
+        goal in 0.05..0.6f64,
+    ) {
+        let scheduler = build_scheduler(
+            seed_index,
+            ShiftConfig::paper_defaults().with_accuracy_goal(goal),
+        );
+        let mut max_energy: f64 = 0.0;
+        let mut max_latency: f64 = 0.0;
+        for &pair in scheduler.candidate_pairs() {
+            let energy = scheduler.energy_score_of(pair).expect("candidate has a score");
+            let latency = scheduler.latency_score_of(pair).expect("candidate has a score");
+            prop_assert!((0.0..=1.0).contains(&energy));
+            prop_assert!((0.0..=1.0).contains(&latency));
+            max_energy = max_energy.max(energy);
+            max_latency = max_latency.max(latency);
+        }
+        prop_assert!((max_energy - 1.0).abs() < 1e-12);
+        prop_assert!((max_latency - 1.0).abs() < 1e-12);
+    }
+
+    /// With hysteresis disabled the decision is the plain arg-max of the
+    /// scores, the chosen pair comes from the candidate set, every score is
+    /// the documented weighted sum of `[0, 1]` terms, and the goal filter
+    /// holds: when any scored model meets the accuracy goal, all scored
+    /// models (including the arg-max winner) do.
+    #[test]
+    fn argmax_is_goal_respecting_and_bounded(
+        seed_index in 0usize..3,
+        goal in 0.05..0.6f64,
+        w_accuracy in 0.1..2.0f64,
+        w_energy in 0.0..2.0f64,
+        w_latency in 0.0..2.0f64,
+        confidence in 0.0..1.0f64,
+    ) {
+        let config = ShiftConfig::paper_defaults()
+            .with_accuracy_goal(goal)
+            .with_knobs(Knobs::new(w_accuracy, w_energy, w_latency))
+            .with_switch_margin(0.0);
+        let mut scheduler = build_scheduler(seed_index, config);
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        // similarity 0 guarantees `similarity * confidence < goal`, so the
+        // full scheduling pass runs.
+        let decision = scheduler.schedule(current, confidence, 0.0);
+        prop_assert!(decision.rescheduled);
+        prop_assert!(!decision.scores.is_empty());
+        prop_assert!(scheduler.candidate_pairs().contains(&decision.pair));
+
+        // Every score is the weighted sum of three [0, 1] terms.
+        let bound = w_accuracy + w_energy + w_latency;
+        for &(_, score) in &decision.scores {
+            prop_assert!(score >= -1e-9);
+            prop_assert!(score <= bound + 1e-9);
+        }
+
+        // Arg-max: no scored pair beats the chosen one.
+        let best = decision
+            .scores
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let chosen = decision
+            .scores
+            .iter()
+            .find(|(pair, _)| *pair == decision.pair)
+            .map(|&(_, s)| s)
+            .expect("chosen pair was scored");
+        prop_assert!((chosen - best).abs() < 1e-12);
+
+        // Goal filter: recover each scored model's smoothed accuracy
+        // prediction from its score and the published energy/latency terms.
+        // Either every scored model meets the goal (so the arg-max does), or
+        // none did and the scheduler fell back to considering all models.
+        let implied_accuracy = |pair: CandidatePair, score: f64| -> f64 {
+            let energy = scheduler.energy_score_of(pair).expect("scored pair");
+            let latency = scheduler.latency_score_of(pair).expect("scored pair");
+            (score - energy * w_energy - latency * w_latency) / w_accuracy
+        };
+        let all_meet_goal = decision
+            .scores
+            .iter()
+            .all(|&(pair, score)| implied_accuracy(pair, score) >= goal - 1e-6);
+        let scored_models: BTreeSet<ModelId> =
+            decision.scores.iter().map(|&(pair, _)| pair.model).collect();
+        let all_models: BTreeSet<ModelId> = scheduler
+            .candidate_pairs()
+            .iter()
+            .map(|pair| pair.model)
+            .collect();
+        prop_assert!(
+            all_meet_goal || scored_models == all_models,
+            "scored models must all meet the goal, or be the whole zoo"
+        );
+    }
+
+    /// Scheduling is a pure function of the scheduler state: two schedulers
+    /// built identically and fed the same inputs decide identically.
+    #[test]
+    fn scheduling_is_deterministic(
+        seed_index in 0usize..3,
+        confidence in 0.0..1.0f64,
+        similarity in 0.0..1.0f64,
+    ) {
+        let config = ShiftConfig::paper_defaults();
+        let mut a = build_scheduler(seed_index, config.clone());
+        let mut b = build_scheduler(seed_index, config);
+        let current = CandidatePair::new(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        for _ in 0..3 {
+            let da = a.schedule(current, confidence, similarity);
+            let db = b.schedule(current, confidence, similarity);
+            prop_assert_eq!(da, db);
+        }
+    }
+}
