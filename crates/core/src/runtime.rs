@@ -284,6 +284,14 @@ impl ShiftRuntime {
         self.agent.swap_count()
     }
 
+    /// Number of full re-scheduling passes (Algorithm 1 decisions) performed
+    /// so far. Frames where the NCC similarity gate kept the current model
+    /// do not count, so on a stable scene this stays well below the frame
+    /// count while a scene-cut burst drives it up.
+    pub fn reschedule_count(&self) -> u64 {
+        self.agent.scheduler().reschedule_count()
+    }
+
     /// Distinct (model, accelerator) pairs used so far.
     pub fn pairs_used(&self) -> usize {
         self.agent.pairs_used()

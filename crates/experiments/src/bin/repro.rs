@@ -13,12 +13,17 @@
 //! ablation studies `ablation-predictor`, `ablation-precision`,
 //! `ablation-powermode`, `ablation-relatedwork`, the `extended` scenario
 //! table and the `fleet` multi-stream scaling experiment (collectively
-//! `ablations`). `--quick` uses the reduced dataset and scaled-down scenarios
-//! (useful for smoke tests); `--seed N` changes the simulation seed.
+//! `ablations`), and `stress` — the generated-scenario difficulty-grid sweep
+//! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot.
+//! `--quick` uses the reduced dataset and scaled-down scenarios (useful for
+//! smoke tests); `--smoke` additionally shrinks the stress sweep to one
+//! scenario per workload class (<= 8 scenarios) and implies `--quick`;
+//! `--seed N` changes the simulation seed.
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, table1, table3, table4,
+    ablations, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress, table1, table3,
+    table4,
 };
 use std::process::ExitCode;
 
@@ -35,7 +40,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 15] = [
+const ARTIFACTS: [&str; 16] = [
     "table1",
     "table3",
     "table4",
@@ -51,17 +56,23 @@ const ARTIFACTS: [&str; 15] = [
     "ablation-relatedwork",
     "extended",
     "fleet",
+    "stress",
 ];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut smoke = false;
     let mut seed = 2024u64;
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--smoke" => {
+                smoke = true;
+                quick = true;
+            }
             "--seed" => {
                 let Some(value) = iter.next() else {
                     eprintln!("--seed requires a value");
@@ -92,7 +103,10 @@ fn main() -> ExitCode {
     if requested.is_empty() {
         requested.extend(PAPER_ARTIFACTS.iter().map(|s| s.to_string()));
     }
-    requested.dedup();
+    // Keep the first occurrence of each artifact (plain `dedup` only drops
+    // *adjacent* repeats, so `stress fleet stress` would run stress twice).
+    let mut seen = std::collections::BTreeSet::new();
+    requested.retain(|artifact| seen.insert(artifact.clone()));
 
     eprintln!(
         "# building experiment context (seed {seed}, {} mode)...",
@@ -121,6 +135,28 @@ fn main() -> ExitCode {
             "ablation-relatedwork" => ablations::related_work_table(&ctx),
             "extended" => extended::generate(&ctx),
             "fleet" => fleet::generate(&ctx),
+            "stress" => {
+                // `--smoke` shrinks the grid itself; `--quick` alone keeps
+                // the full 64-scenario grid but runs it on scaled-down
+                // scenarios.
+                let options = if smoke {
+                    stress::StressOptions::smoke()
+                } else {
+                    stress::StressOptions::full()
+                };
+                match stress::artifact(&ctx, &options) {
+                    Ok(artifact) => {
+                        if let Err(err) = std::fs::write("BENCH_stress.json", &artifact.bench_json)
+                        {
+                            eprintln!("failed to write BENCH_stress.json: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("# wrote BENCH_stress.json");
+                        Ok(artifact.table)
+                    }
+                    Err(err) => Err(err),
+                }
+            }
             "fig5" => {
                 if quick {
                     fig5::generate_with_grid(&ctx, &fig5::SweepGrid::quick())
@@ -145,9 +181,10 @@ fn main() -> ExitCode {
 }
 
 fn print_help() {
-    eprintln!("usage: repro [--quick] [--seed N] [artifact...]");
+    eprintln!("usage: repro [--quick] [--smoke] [--seed N] [artifact...]");
     eprintln!(
         "artifacts: {} | all (paper artifacts) | ablations (ablation studies)",
         ARTIFACTS.join(" | ")
     );
+    eprintln!("--smoke implies --quick and shrinks `stress` to <= 8 scenarios");
 }

@@ -74,13 +74,26 @@ pub struct FleetScalePoint {
     pub loads_per_frame: f64,
 }
 
-/// Runs one fleet of `n` streams and aggregates it.
+/// Runs one fleet of `n` roster streams and aggregates it.
 ///
 /// # Errors
 ///
 /// Propagates fleet construction and execution failures.
 pub fn run_fleet(ctx: &ExperimentContext, n: usize) -> Result<FleetScalePoint, ExperimentError> {
-    let specs = stream_specs(ctx, n);
+    run_specs(ctx, stream_specs(ctx, n))
+}
+
+/// Runs one fleet over explicit stream specs and aggregates it (used by the
+/// scaling sweep above and by the stress soak over generated scenarios).
+///
+/// # Errors
+///
+/// Propagates fleet construction and execution failures.
+pub fn run_specs(
+    ctx: &ExperimentContext,
+    specs: Vec<StreamSpec>,
+) -> Result<FleetScalePoint, ExperimentError> {
+    let n = specs.len();
     let mut fleet = FleetRuntime::new(
         ctx.engine(),
         ctx.characterization(),

@@ -24,7 +24,10 @@
 //! [`fleet`] scales past the paper's one-stream-per-SoC deployment entirely:
 //! it sweeps 1 → 16 concurrent mixed-difficulty streams over one shared SoC
 //! and tabulates energy/frame, tail latency, throughput and per-stream
-//! accuracy-goal attainment as contention grows.
+//! accuracy-goal attainment as contention grows. [`stress`] leaves the six
+//! fixed videos behind altogether: it sweeps SHIFT and the baselines over a
+//! procedurally generated difficulty grid (`shift_video::generator`) and
+//! soaks the fleet runtime with a generated mixed workload.
 //!
 //! Run everything from the command line with
 //! `cargo run --release -p shift-experiments --bin repro -- all`.
@@ -47,6 +50,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fleet;
 pub mod headline;
+pub mod stress;
 pub mod table1;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,381 @@
+//! Scenario-breakdown aggregation for generated workload sweeps.
+//!
+//! The stress sweep (`repro -- stress`) runs several methodologies over many
+//! procedurally generated scenarios spanning a difficulty grid. This module
+//! reduces each (scenario, method) run to one stable [`ScenarioRow`], collects
+//! them in a [`ScenarioBreakdown`], and rolls the breakdown up per workload
+//! class with [`BreakdownAggregate`]. Rows serialize to CSV with full
+//! round-trip float precision, so golden tests can lock the whole sweep
+//! byte-for-byte — the same contract the fleet summaries already honour.
+//!
+//! The types are deliberately stringly-keyed (class, difficulty and
+//! environment are labels, not enums) so this crate stays independent of the
+//! video substrate that defines the generator's vocabulary.
+
+use crate::export::{csv_escape, number};
+use crate::record::FrameRecord;
+use crate::stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`ScenarioRow::csv_row`].
+pub const SCENARIO_CSV_HEADER: &str = "scenario,class,difficulty,environment,method,\
+accuracy_goal,frames,mean_iou,success_rate,mean_latency_s,p99_latency_s,mean_energy_j,\
+total_energy_j,model_swaps,meets_goal";
+
+/// One (scenario, method) run of a workload sweep, reduced to the columns
+/// the stress artifact reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRow {
+    /// Generated scenario name (encodes class, seed and replica).
+    pub scenario: String,
+    /// Workload class the scenario was generated from.
+    pub class: String,
+    /// Difficulty label of the class (e.g. `"easy"`, `"extreme"`).
+    pub difficulty: String,
+    /// Environment label (e.g. `"indoor"`, `"outdoor"`).
+    pub environment: String,
+    /// Methodology label (e.g. `"SHIFT"`, `"Marlin"`).
+    pub method: String,
+    /// The accuracy goal the run was held to.
+    pub accuracy_goal: f64,
+    /// Number of frames processed.
+    pub frames: usize,
+    /// Mean IoU over the run.
+    pub mean_iou: f64,
+    /// Fraction of frames with IoU >= 0.5.
+    pub success_rate: f64,
+    /// Mean per-frame latency, seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile per-frame latency, seconds.
+    pub p99_latency_s: f64,
+    /// Mean energy per frame, joules.
+    pub mean_energy_j: f64,
+    /// Total energy over the run, joules.
+    pub total_energy_j: f64,
+    /// Number of model/accelerator swaps.
+    pub model_swaps: u64,
+    /// Whether `mean_iou >= accuracy_goal`.
+    pub meets_goal: bool,
+}
+
+impl ScenarioRow {
+    /// Reduces one run's per-frame records to a row.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_records(
+        scenario: impl Into<String>,
+        class: impl Into<String>,
+        difficulty: impl Into<String>,
+        environment: impl Into<String>,
+        method: impl Into<String>,
+        accuracy_goal: f64,
+        records: &[FrameRecord],
+    ) -> Self {
+        let n = records.len();
+        let latencies: Vec<f64> = records.iter().map(|r| r.latency_s).collect();
+        let total_energy: f64 = records.iter().map(|r| r.energy_j).sum();
+        let mean_iou = if n == 0 {
+            0.0
+        } else {
+            records.iter().map(|r| r.iou).sum::<f64>() / n as f64
+        };
+        Self {
+            scenario: scenario.into(),
+            class: class.into(),
+            difficulty: difficulty.into(),
+            environment: environment.into(),
+            method: method.into(),
+            accuracy_goal,
+            frames: n,
+            mean_iou,
+            success_rate: if n == 0 {
+                0.0
+            } else {
+                records.iter().filter(|r| r.is_success()).count() as f64 / n as f64
+            },
+            mean_latency_s: if n == 0 {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / n as f64
+            },
+            p99_latency_s: percentile(&latencies, 99.0),
+            mean_energy_j: if n == 0 { 0.0 } else { total_energy / n as f64 },
+            total_energy_j: total_energy,
+            model_swaps: records.iter().filter(|r| r.swapped).count() as u64,
+            meets_goal: n > 0 && mean_iou >= accuracy_goal,
+        }
+    }
+
+    /// Renders the row as one CSV line matching [`SCENARIO_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&self.scenario),
+            csv_escape(&self.class),
+            csv_escape(&self.difficulty),
+            csv_escape(&self.environment),
+            csv_escape(&self.method),
+            number(self.accuracy_goal),
+            self.frames,
+            number(self.mean_iou),
+            number(self.success_rate),
+            number(self.mean_latency_s),
+            number(self.p99_latency_s),
+            number(self.mean_energy_j),
+            number(self.total_energy_j),
+            self.model_swaps,
+            self.meets_goal
+        );
+        out
+    }
+}
+
+/// Per-(class, method) roll-up of a [`ScenarioBreakdown`]. Frame-weighted
+/// means; the tail latency is the worst p99 over the aggregated rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownAggregate {
+    /// Workload class.
+    pub class: String,
+    /// Difficulty label of the class.
+    pub difficulty: String,
+    /// Methodology label.
+    pub method: String,
+    /// Number of scenarios aggregated.
+    pub scenarios: usize,
+    /// Total frames across the scenarios.
+    pub frames: usize,
+    /// Frame-weighted mean IoU.
+    pub mean_iou: f64,
+    /// Frame-weighted success rate.
+    pub success_rate: f64,
+    /// Aggregate energy per frame, joules.
+    pub energy_per_frame_j: f64,
+    /// Frame-weighted mean latency, seconds.
+    pub mean_latency_s: f64,
+    /// Worst per-scenario p99 latency, seconds.
+    pub worst_p99_latency_s: f64,
+    /// Model swaps per thousand frames.
+    pub swaps_per_kframe: f64,
+    /// How many of the aggregated scenario runs met their accuracy goal.
+    pub goals_met: usize,
+}
+
+/// The collected rows of one workload sweep.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioBreakdown {
+    rows: Vec<ScenarioRow>,
+}
+
+impl ScenarioBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one run's row.
+    pub fn push(&mut self, row: ScenarioRow) {
+        self.rows.push(row);
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[ScenarioRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the breakdown holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the breakdown as CSV (header + one line per row, in
+    /// insertion order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(SCENARIO_CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Goal attainment of one method: `(runs meeting their goal, total
+    /// runs)` over the rows with that method label.
+    pub fn goal_attainment(&self, method: &str) -> (usize, usize) {
+        let rows = self.rows.iter().filter(|r| r.method == method);
+        let (mut met, mut total) = (0, 0);
+        for row in rows {
+            total += 1;
+            if row.meets_goal {
+                met += 1;
+            }
+        }
+        (met, total)
+    }
+
+    /// Rolls the rows up per (class, method), preserving first-appearance
+    /// order — the shape the stress table prints.
+    pub fn aggregate_by_class(&self) -> Vec<BreakdownAggregate> {
+        let mut order: Vec<(String, String)> = Vec::new();
+        for row in &self.rows {
+            let key = (row.class.clone(), row.method.clone());
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+        order
+            .into_iter()
+            .map(|(class, method)| {
+                let group: Vec<&ScenarioRow> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.class == class && r.method == method)
+                    .collect();
+                let frames: usize = group.iter().map(|r| r.frames).sum();
+                let weight = frames.max(1) as f64;
+                let weighted = |f: fn(&ScenarioRow) -> f64| -> f64 {
+                    group.iter().map(|r| f(r) * r.frames as f64).sum::<f64>() / weight
+                };
+                let total_energy: f64 = group.iter().map(|r| r.total_energy_j).sum();
+                let swaps: u64 = group.iter().map(|r| r.model_swaps).sum();
+                BreakdownAggregate {
+                    difficulty: group
+                        .first()
+                        .map(|r| r.difficulty.clone())
+                        .unwrap_or_default(),
+                    class,
+                    method,
+                    scenarios: group.len(),
+                    frames,
+                    mean_iou: weighted(|r| r.mean_iou),
+                    success_rate: weighted(|r| r.success_rate),
+                    energy_per_frame_j: total_energy / weight,
+                    mean_latency_s: weighted(|r| r.mean_latency_s),
+                    worst_p99_latency_s: group.iter().map(|r| r.p99_latency_s).fold(0.0, f64::max),
+                    swaps_per_kframe: swaps as f64 * 1000.0 / weight,
+                    goals_met: group.iter().filter(|r| r.meets_goal).count(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    fn record(index: usize, iou: f64, latency_s: f64, energy_j: f64, swapped: bool) -> FrameRecord {
+        FrameRecord::new(
+            index,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            iou,
+            latency_s,
+            energy_j,
+            swapped,
+        )
+    }
+
+    fn row(scenario: &str, class: &str, method: &str, iou: f64, frames: usize) -> ScenarioRow {
+        let records: Vec<FrameRecord> = (0..frames)
+            .map(|i| record(i, iou, 0.1, 1.0, i == 0))
+            .collect();
+        ScenarioRow::from_records(scenario, class, "hard", "outdoor", method, 0.25, &records)
+    }
+
+    #[test]
+    fn row_aggregates_records_and_checks_goal() {
+        let records = vec![
+            record(0, 0.8, 0.10, 2.0, true),
+            record(1, 0.6, 0.20, 1.0, false),
+            record(2, 0.1, 0.30, 1.0, false),
+        ];
+        let row = ScenarioRow::from_records(
+            "chaos-s1-r0",
+            "chaos",
+            "extreme",
+            "outdoor",
+            "SHIFT",
+            0.4,
+            &records,
+        );
+        assert_eq!(row.frames, 3);
+        assert!((row.mean_iou - 0.5).abs() < 1e-12);
+        assert!(row.meets_goal);
+        assert!((row.total_energy_j - 4.0).abs() < 1e-12);
+        assert_eq!(row.model_swaps, 1);
+        assert!(row.p99_latency_s <= 0.3 + 1e-12);
+        let strict = ScenarioRow::from_records(
+            "chaos-s1-r0",
+            "chaos",
+            "extreme",
+            "outdoor",
+            "SHIFT",
+            0.6,
+            &records,
+        );
+        assert!(!strict.meets_goal);
+    }
+
+    #[test]
+    fn empty_records_produce_a_zeroed_row_that_misses_its_goal() {
+        let row = ScenarioRow::from_records("x", "c", "easy", "indoor", "SHIFT", 0.0, &[]);
+        assert_eq!(row.frames, 0);
+        assert!(!row.meets_goal, "an empty run never meets a goal");
+        assert_eq!(row.mean_energy_j, 0.0);
+    }
+
+    #[test]
+    fn csv_matches_header_and_is_deterministic() {
+        let r = row("a-s1-r0", "a", "SHIFT", 0.7, 5);
+        assert_eq!(
+            r.csv_row().split(',').count(),
+            SCENARIO_CSV_HEADER.split(',').count()
+        );
+        assert_eq!(r.csv_row(), r.csv_row());
+        let quoted = row("a,b", "a", "SHIFT", 0.7, 5);
+        assert!(quoted.csv_row().starts_with("\"a,b\","));
+    }
+
+    #[test]
+    fn breakdown_collects_rows_and_renders_csv() {
+        let mut breakdown = ScenarioBreakdown::new();
+        breakdown.push(row("a-s1-r0", "a", "SHIFT", 0.7, 5));
+        breakdown.push(row("a-s1-r1", "a", "Marlin", 0.8, 5));
+        assert_eq!(breakdown.len(), 2);
+        let csv = breakdown.to_csv();
+        assert!(csv.starts_with(SCENARIO_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(breakdown.goal_attainment("SHIFT"), (1, 1));
+        assert_eq!(breakdown.goal_attainment("nope"), (0, 0));
+    }
+
+    #[test]
+    fn class_aggregation_is_frame_weighted_and_ordered() {
+        let mut breakdown = ScenarioBreakdown::new();
+        breakdown.push(row("a-s1-r0", "a", "SHIFT", 0.9, 10));
+        breakdown.push(row("a-s1-r1", "a", "SHIFT", 0.3, 30));
+        breakdown.push(row("b-s1-r0", "b", "SHIFT", 0.1, 10));
+        let aggregates = breakdown.aggregate_by_class();
+        assert_eq!(aggregates.len(), 2);
+        assert_eq!(aggregates[0].class, "a", "first-appearance order");
+        let a = &aggregates[0];
+        assert_eq!(a.scenarios, 2);
+        assert_eq!(a.frames, 40);
+        let expected = (0.9 * 10.0 + 0.3 * 30.0) / 40.0;
+        assert!((a.mean_iou - expected).abs() < 1e-12);
+        assert_eq!(a.goals_met, 2, "0.9 and 0.3 both meet the 0.25 goal");
+        assert!((a.swaps_per_kframe - 2.0 * 1000.0 / 40.0).abs() < 1e-9);
+        let b = &aggregates[1];
+        assert_eq!(b.goals_met, 0, "0.1 misses the 0.25 goal");
+    }
+}

@@ -12,7 +12,10 @@
 //! for the reproduction harness. For multi-stream (fleet) runs,
 //! [`StreamSummary`] and [`FleetSummary`] add the statistics that only
 //! matter under contention: tail latencies (p50/p99), queueing delay,
-//! joules per stream and per-stream accuracy-goal attainment.
+//! joules per stream and per-stream accuracy-goal attainment. For generated
+//! workload sweeps, [`ScenarioRow`] and [`ScenarioBreakdown`] reduce each
+//! (scenario, method) run to a stable CSV row and roll the sweep up per
+//! workload class.
 //!
 //! ```
 //! use shift_metrics::{FrameRecord, RunSummary};
@@ -28,6 +31,7 @@
 //! assert!(summary.success_rate > 0.99);
 //! ```
 
+pub mod breakdown;
 pub mod curve;
 pub mod export;
 pub mod fleet;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod summary;
 pub mod timeline;
 
+pub use breakdown::{BreakdownAggregate, ScenarioBreakdown, ScenarioRow, SCENARIO_CSV_HEADER};
 pub use curve::{
     accuracy_energy_frontier, average_success, run_efficiency, success_curve, FrontierPoint,
     ThresholdPoint,

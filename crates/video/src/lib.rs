@@ -31,6 +31,7 @@
 pub mod bbox;
 pub mod context;
 pub mod dataset;
+pub mod generator;
 pub mod image;
 pub mod ncc;
 pub mod scenario;
@@ -40,6 +41,9 @@ pub mod trajectory;
 pub use bbox::BoundingBox;
 pub use context::FrameContext;
 pub use dataset::CharacterizationDataset;
+pub use generator::{
+    Difficulty, ScenarioGenerator, ScenarioLibrary, ScenarioSpec, TrajectoryFamily, WeatherRegime,
+};
 pub use image::GrayImage;
 pub use ncc::{frame_similarity, ncc, ncc_regions};
 pub use scenario::{Environment, Scenario};

@@ -223,6 +223,21 @@ impl Scenario {
         self
     }
 
+    /// The background segments, sorted by start time.
+    pub fn backgrounds(&self) -> &[BackgroundSegment] {
+        &self.backgrounds
+    }
+
+    /// The partial-occlusion windows.
+    pub fn occlusions(&self) -> &[Window] {
+        &self.occlusions
+    }
+
+    /// The out-of-view windows.
+    pub fn absences(&self) -> &[Window] {
+        &self.absences
+    }
+
     /// Index of the background segment active at normalized time `t`.
     pub fn background_index_at(&self, t: f64) -> usize {
         let mut index = 0;

@@ -125,6 +125,42 @@ fn golden_serialized_output_is_byte_identical_across_runs() {
     );
 }
 
+/// Golden determinism for the stress artifact: the generated workload
+/// sweep's complete summary CSV — per-scenario rows over the difficulty
+/// grid, then the fleet-soak stream and fleet blocks — must be byte-identical
+/// across runs, locking the procedural scenario space bit-for-bit like the
+/// fleet artifact.
+#[test]
+fn golden_stress_summary_csv_is_byte_identical_across_runs() {
+    use shift_experiments::stress::{self, StressOptions};
+    let run = || {
+        let ctx = ExperimentContext::quick(91);
+        stress::summary_csv(&ctx, &StressOptions::smoke()).expect("stress summary builds")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "stress summary CSV must not drift");
+    assert!(
+        a.starts_with(shift_metrics::SCENARIO_CSV_HEADER),
+        "sweep block leads the summary"
+    );
+    let classes = shift_video::ScenarioLibrary::standard().len();
+    let methods = stress::METHODS.len();
+    let streams = StressOptions::smoke().soak_streams;
+    // One line per (scenario, method) + soak stream rows + fleet row + the
+    // three headers.
+    assert_eq!(
+        a.lines().count(),
+        classes * methods + streams + 1 + 3,
+        "unexpected summary shape"
+    );
+    // Every generated-scenario name encodes the context seed.
+    assert!(
+        a.contains("-s91-r0,"),
+        "scenario names must encode the seed"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

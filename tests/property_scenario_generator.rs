@@ -1,0 +1,218 @@
+//! Property tests for the procedural scenario generator.
+//!
+//! The generator promises five invariants over the *whole* scenario space —
+//! not just the standard library classes. Each case below samples a spec
+//! from the full (environment x family x weather x difficulty) cross product
+//! and an arbitrary seed/replica, generates a scenario and checks:
+//!
+//! 1. generation is pure: the same `(seed, spec, index)` triple yields a
+//!    byte-identical scenario,
+//! 2. every in-view ground-truth bounding box stays inside the frame,
+//! 3. background segments are sorted, start at exactly `0.0` and stay in
+//!    `[0, 1]`,
+//! 4. occlusion and out-of-view windows never overlap,
+//! 5. the spec is schedulable: at least one loadable (model, accelerator)
+//!    pair meets its accuracy goal.
+
+use proptest::prelude::*;
+use shift_core::{characterize, Characterization};
+use shift_experiments::MULTI_ACCELERATORS;
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, Platform};
+use shift_video::generator::{
+    Difficulty, ScenarioGenerator, ScenarioSpec, TrajectoryFamily, WeatherRegime,
+};
+use shift_video::{CharacterizationDataset, Environment, Scenario};
+use std::sync::OnceLock;
+
+/// One spec from the full cross product of the generator's vocabulary,
+/// indexed deterministically.
+fn spec_at(index: usize) -> ScenarioSpec {
+    let environments = [Environment::Indoor, Environment::Outdoor];
+    let families = [
+        TrajectoryFamily::Approach,
+        TrajectoryFamily::Orbit,
+        TrajectoryFamily::FlyThrough,
+        TrajectoryFamily::Hover,
+    ];
+    let weathers = [
+        WeatherRegime::Clear,
+        WeatherRegime::Overcast,
+        WeatherRegime::Fog,
+        WeatherRegime::Dusk,
+    ];
+    let environment = environments[index % environments.len()];
+    let family = families[(index / 2) % families.len()];
+    let weather = weathers[(index / 8) % weathers.len()];
+    let difficulty = Difficulty::ALL[(index / 32) % Difficulty::ALL.len()];
+    ScenarioSpec::new(
+        format!("prop-{environment}-{family}-{weather}-{difficulty}"),
+        environment,
+        family,
+        weather,
+        difficulty,
+    )
+}
+
+/// Total size of the spec cross product sampled by [`spec_at`].
+const SPEC_SPACE: usize = 2 * 4 * 4 * 4;
+
+/// The shared platform/characterization used by the schedulability check
+/// (built once; the check itself is a pure lookup).
+fn shared_characterization() -> &'static (Platform, ModelZoo, Characterization) {
+    static SHARED: OnceLock<(Platform, ModelZoo, Characterization)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let platform = Platform::xavier_nx_with_oak();
+        let zoo = ModelZoo::standard();
+        let engine = ExecutionEngine::new(platform.clone(), zoo.clone(), ResponseModel::new(5));
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(180, 5));
+        (platform, zoo, characterization)
+    })
+}
+
+/// Whether at least one loadable (model, accelerator) pair meets `goal`:
+/// the model's characterized mean IoU reaches the goal AND the model both
+/// supports and fits the memory of one of the schedulable accelerators.
+fn is_schedulable(goal: f64) -> bool {
+    let (platform, zoo, characterization) = shared_characterization();
+    zoo.iter().any(|spec| {
+        let accurate = characterization
+            .traits_of(spec.id)
+            .is_some_and(|traits| traits.mean_iou >= goal);
+        accurate
+            && MULTI_ACCELERATORS.iter().any(|&accelerator| {
+                platform
+                    .accelerator(accelerator)
+                    .is_some_and(|a| a.supports(spec))
+            })
+    })
+}
+
+fn generate(seed: u64, spec_index: usize, replica: u64) -> (ScenarioSpec, Scenario) {
+    let spec = spec_at(spec_index);
+    let scenario = ScenarioGenerator::new(seed).generate(&spec, replica);
+    (spec, scenario)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: same `(seed, spec, index)` => byte-identical scenario.
+    #[test]
+    fn same_seed_produces_byte_identical_scenarios(
+        seed in 0u64..10_000,
+        spec_index in 0usize..SPEC_SPACE,
+        replica in 0u64..8,
+    ) {
+        let (_, a) = generate(seed, spec_index, replica);
+        let (_, b) = generate(seed, spec_index, replica);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(format!("{a:?}").into_bytes(), format!("{b:?}").into_bytes());
+        // And the replica index genuinely changes the content.
+        let (_, c) = generate(seed, spec_index, replica + 1);
+        prop_assert!(a != c, "replica {} and {} must differ", replica, replica + 1);
+    }
+
+    /// Invariant 2: every in-view truth box stays inside the frame for every
+    /// generated trajectory.
+    #[test]
+    fn truth_boxes_stay_inside_frame_bounds(
+        seed in 0u64..10_000,
+        spec_index in 0usize..SPEC_SPACE,
+        replica in 0u64..4,
+    ) {
+        let (spec, scenario) = generate(seed, spec_index, replica);
+        let width = scenario.frame_width() as f64;
+        let height = scenario.frame_height() as f64;
+        for index in 0..scenario.num_frames() {
+            if let Some(bbox) = scenario.truth_at(index) {
+                prop_assert!(
+                    bbox.x >= 0.0 && bbox.y >= 0.0
+                        && bbox.right() <= width && bbox.bottom() <= height,
+                    "{} frame {}: box ({}, {}, {}, {}) leaves the {}x{} frame",
+                    spec.name, index, bbox.x, bbox.y, bbox.w, bbox.h, width, height
+                );
+            }
+        }
+    }
+
+    /// Invariant 3: background segments are sorted, start at 0.0 and stay in
+    /// [0, 1].
+    #[test]
+    fn background_segments_are_sorted_and_bounded(
+        seed in 0u64..10_000,
+        spec_index in 0usize..SPEC_SPACE,
+        replica in 0u64..4,
+    ) {
+        let (spec, scenario) = generate(seed, spec_index, replica);
+        let segments = scenario.backgrounds();
+        prop_assert!(!segments.is_empty());
+        prop_assert_eq!(segments[0].start, 0.0);
+        for pair in segments.windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start, "{}: unsorted segments", spec.name);
+        }
+        for segment in segments {
+            prop_assert!((0.0..=1.0).contains(&segment.start));
+            prop_assert!((0.0..=1.0).contains(&segment.clutter));
+            prop_assert!((0.0..=1.0).contains(&segment.contrast));
+            prop_assert!((0.0..=1.0).contains(&segment.lighting));
+        }
+    }
+
+    /// Invariant 4: occlusion and out-of-view windows never overlap (within
+    /// or across the two kinds).
+    #[test]
+    fn occlusion_and_absence_windows_never_overlap(
+        seed in 0u64..10_000,
+        spec_index in 0usize..SPEC_SPACE,
+        replica in 0u64..4,
+    ) {
+        let (spec, scenario) = generate(seed, spec_index, replica);
+        let mut windows: Vec<_> = scenario
+            .occlusions()
+            .iter()
+            .chain(scenario.absences().iter())
+            .copied()
+            .collect();
+        windows.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        for w in &windows {
+            prop_assert!(w.start >= 0.0 && w.end <= 1.0 && w.start <= w.end);
+        }
+        for pair in windows.windows(2) {
+            prop_assert!(
+                pair[0].end <= pair[1].start,
+                "{}: windows [{}, {}) and [{}, {}) overlap",
+                spec.name, pair[0].start, pair[0].end, pair[1].start, pair[1].end
+            );
+        }
+    }
+
+    /// Invariant 5: every generated spec is schedulable — at least one
+    /// loadable (model, accelerator) pair meets its accuracy goal.
+    #[test]
+    fn generated_specs_are_always_schedulable(
+        spec_index in 0usize..SPEC_SPACE,
+        goal_millis in 0u64..1000,
+    ) {
+        let spec = spec_at(spec_index).with_accuracy_goal(goal_millis as f64 / 1000.0);
+        prop_assert!(
+            is_schedulable(spec.accuracy_goal),
+            "{}: no loadable pair meets goal {}",
+            spec.name, spec.accuracy_goal
+        );
+    }
+}
+
+/// The schedulability invariant holds across the standard library too (the
+/// classes the stress sweep actually runs).
+#[test]
+fn standard_library_classes_are_schedulable() {
+    for spec in shift_video::ScenarioLibrary::standard().specs() {
+        assert!(
+            is_schedulable(spec.accuracy_goal),
+            "{}: goal {} is not schedulable",
+            spec.name,
+            spec.accuracy_goal
+        );
+    }
+}
