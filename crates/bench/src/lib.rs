@@ -16,8 +16,27 @@
 //!   confidence passthrough, LRU loader vs. evict-all loader, and the
 //!   similarity gate on vs. off.
 //!
-//! This crate exposes a small library of shared fixtures so the benches do
-//! not duplicate setup code.
+//! Beyond the Criterion targets, the crate is the workspace's
+//! **perf-regression subsystem**:
+//!
+//! * [`suite`] — a fixed set of named micro benches over the hot paths
+//!   (confidence-graph lookup, scheduler arg-max, NCC context detection,
+//!   LRU loader churn, fleet step), each reduced to a
+//!   [`TimingRow`](shift_metrics::TimingRow);
+//! * [`snapshot`] — the machine-readable `BENCH_micro.json` format (suite
+//!   rows plus the stress sweep's wall-clock timings folded in) and the
+//!   minimal JSON parser it needs in this serde_json-less workspace;
+//! * [`compare`] — the CI gate: diffs two snapshots and fails past a
+//!   configurable regression band.
+//!
+//! `cargo run -p shift-experiments --bin repro -- bench` runs the suite and
+//! writes the snapshot; `repro -- bench-compare <baseline> <current>` gates
+//! it. This crate also exposes a small library of shared fixtures so the
+//! benches do not duplicate setup code.
+
+pub mod compare;
+pub mod snapshot;
+pub mod suite;
 
 use shift_core::{characterize, Characterization};
 use shift_models::{ModelZoo, ResponseModel};

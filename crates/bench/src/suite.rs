@@ -1,0 +1,235 @@
+//! The named micro-benchmark suite over SHIFT's hot paths.
+//!
+//! Unlike the Criterion targets under `benches/` (interactive, human-read),
+//! this suite is the machine-facing half of the perf-regression subsystem:
+//! it measures a fixed set of named hot paths and reduces each to one
+//! [`TimingRow`], which [`snapshot`](crate::snapshot) serializes to
+//! `BENCH_micro.json` and [`compare`](crate::compare) gates in CI.
+//!
+//! The five benches mirror the operations the paper's "< 2 ms/frame
+//! decision overhead" claim decomposes into, plus the two shared-resource
+//! paths the fleet runtime added:
+//!
+//! | name | hot path |
+//! |---|---|
+//! | `confidence_graph/predict` | the per-frame accuracy map lookup |
+//! | `scheduler/argmax` | the full Algorithm 1 re-scheduling pass |
+//! | `ncc/context_detect` | the NCC context-similarity computation |
+//! | `loader/lru_churn` | an LRU load + eviction cycle under memory pressure |
+//! | `fleet/step` | one shared-SoC fleet scheduling step (3 streams) |
+
+use crate::{bench_characterization, bench_engine};
+use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::{
+    CandidatePair, ConfidenceGraph, ContextDetector, DynamicModelLoader, GraphConfig, Scheduler,
+    ShiftConfig,
+};
+use shift_metrics::TimingRow;
+use shift_models::ModelId;
+use shift_soc::AcceleratorId;
+use shift_video::Scenario;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The suite's bench names, in run order. Stable: the CI gate keys on them.
+pub const BENCH_NAMES: [&str; 5] = [
+    "confidence_graph/predict",
+    "scheduler/argmax",
+    "ncc/context_detect",
+    "loader/lru_churn",
+    "fleet/step",
+];
+
+/// Suite sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteOptions {
+    /// Timed batches per bench.
+    pub samples: usize,
+    /// Wall-clock budget per batch; the per-batch iteration count is
+    /// calibrated so one batch roughly fills it.
+    pub sample_budget: Duration,
+    /// Characterization-set size for the graph/scheduler fixtures.
+    pub characterization_samples: usize,
+    /// Frames per stream in the fleet fixture.
+    pub fleet_frames: usize,
+}
+
+impl SuiteOptions {
+    /// Full fidelity: the mode for locally tracked numbers.
+    pub fn full() -> Self {
+        Self {
+            samples: 15,
+            sample_budget: Duration::from_millis(10),
+            characterization_samples: 400,
+            fleet_frames: 600,
+        }
+    }
+
+    /// Reduced CI mode (`repro -- bench --smoke`): the whole suite completes
+    /// in well under a second.
+    pub fn smoke() -> Self {
+        Self {
+            samples: 5,
+            sample_budget: Duration::from_millis(2),
+            characterization_samples: 150,
+            fleet_frames: 200,
+        }
+    }
+}
+
+/// Times `op`: one calibration call picks the per-batch iteration count,
+/// then `options.samples` batches run and the minimum batch mean wins (see
+/// [`TimingRow`] for why the minimum).
+fn measure(name: &str, options: &SuiteOptions, mut op: impl FnMut()) -> TimingRow {
+    let start = Instant::now();
+    op();
+    let once = start.elapsed().max(Duration::from_nanos(25));
+    let iters = (options.sample_budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..options.samples.max(1) {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        let per_op = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_op);
+    }
+    TimingRow::new(name, best, options.samples.max(1), iters)
+}
+
+/// Runs the whole suite and returns one row per [`BENCH_NAMES`] entry, in
+/// order. Timings are hardware-dependent; everything else about the rows
+/// (names, count, order) is stable.
+pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
+    let characterization = bench_characterization(options.characterization_samples, seed);
+    let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
+    let mut rows = Vec::with_capacity(BENCH_NAMES.len());
+
+    // confidence_graph/predict — the "map lookup at runtime" the paper
+    // substitutes for costly classifiers.
+    rows.push(measure(BENCH_NAMES[0], options, || {
+        black_box(graph.predict(ModelId::YoloV7, black_box(0.6)));
+    }));
+
+    // scheduler/argmax — the full Algorithm 1 pass via the core hook that
+    // bypasses the similarity gate.
+    let mut scheduler = Scheduler::new(
+        ShiftConfig::paper_defaults(),
+        &characterization,
+        graph.clone(),
+    )
+    .expect("bench scheduler builds");
+    let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+    rows.push(measure(BENCH_NAMES[1], options, || {
+        black_box(scheduler.force_reschedule(black_box(current), 0.55, 0.1));
+    }));
+
+    // ncc/context_detect — the per-frame similarity (full-frame NCC plus the
+    // bbox-crop NCC) at the standard 64 px evaluation resolution.
+    let frames: Vec<_> = Scenario::scenario_1().with_num_frames(2).stream().collect();
+    let mut detector = ContextDetector::new();
+    detector.update(&frames[0], frames[0].truth.as_ref());
+    rows.push(measure(BENCH_NAMES[2], options, || {
+        black_box(detector.similarity(&frames[1], frames[1].truth.as_ref()));
+    }));
+
+    // loader/lru_churn — cycling four large models through the 1536 MB GPU
+    // pool; the cycle does not fit, so steady state is one eviction + one
+    // load per call.
+    let mut engine = bench_engine(seed);
+    let mut loader = DynamicModelLoader::new();
+    let churn = [
+        ModelId::YoloV7E6E,
+        ModelId::YoloV7X,
+        ModelId::SsdResnet50,
+        ModelId::YoloV7,
+    ];
+    let mut next = 0usize;
+    rows.push(measure(BENCH_NAMES[3], options, || {
+        let model = churn[next % churn.len()];
+        next += 1;
+        black_box(
+            loader
+                .ensure_loaded(&mut engine, CandidatePair::new(model, AcceleratorId::Gpu))
+                .expect("churn models fit an empty pool"),
+        );
+    }));
+
+    // fleet/step — one scheduling step of a 3-stream fleet on one shared
+    // SoC. The fixture is rebuilt when its streams are exhausted; the rebuild
+    // lands inside at most one batch and the minimum estimator discards it.
+    let build_fleet = || {
+        let specs = [
+            Scenario::scenario_1(),
+            Scenario::scenario_3(),
+            Scenario::scenario_5(),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            StreamSpec::new(
+                format!("bench-s{i}"),
+                scenario.with_num_frames(options.fleet_frames),
+                ShiftConfig::paper_defaults().with_accuracy_goal(0.2),
+            )
+        })
+        .collect();
+        FleetRuntime::new(
+            bench_engine(seed),
+            &characterization,
+            FleetConfig::round_robin(),
+            specs,
+        )
+        .expect("bench fleet builds")
+    };
+    let mut fleet = build_fleet();
+    rows.push(measure(BENCH_NAMES[4], options, || {
+        if fleet.is_done() {
+            fleet = build_fleet();
+        }
+        black_box(fleet.step().expect("fleet step succeeds"));
+    }));
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> SuiteOptions {
+        SuiteOptions {
+            samples: 2,
+            sample_budget: Duration::from_micros(200),
+            characterization_samples: 60,
+            fleet_frames: 40,
+        }
+    }
+
+    #[test]
+    fn suite_produces_one_positive_row_per_bench_in_order() {
+        let rows = run_suite(5, &tiny_options());
+        assert_eq!(rows.len(), BENCH_NAMES.len());
+        for (row, name) in rows.iter().zip(BENCH_NAMES) {
+            assert_eq!(row.name, name);
+            assert!(row.ns_per_op > 0.0, "{name} measured nothing");
+            assert!(row.ns_per_op.is_finite());
+            assert!(row.iters_per_sample >= 1);
+        }
+    }
+
+    #[test]
+    fn bench_names_are_unique() {
+        let unique: std::collections::BTreeSet<_> = BENCH_NAMES.iter().collect();
+        assert_eq!(unique.len(), BENCH_NAMES.len());
+    }
+
+    #[test]
+    fn measure_counts_every_iteration() {
+        let mut calls = 0u64;
+        let options = tiny_options();
+        let row = measure("counted", &options, || calls += 1);
+        // 1 calibration call + samples * iters.
+        assert_eq!(calls, 1 + options.samples as u64 * row.iters_per_sample);
+    }
+}

@@ -207,6 +207,21 @@ impl Scheduler {
                 scores: Vec::new(),
             };
         }
+        self.force_reschedule(current, confidence, similarity)
+    }
+
+    /// Runs the full re-scheduling pass of Algorithm 1 unconditionally,
+    /// bypassing the similarity gate: confidence-graph lookup, momentum
+    /// update, accuracy-goal filter and the arg-max over all candidate
+    /// pairs. This is the decision path behind the paper's "< 2 ms per
+    /// frame" overhead claim, exposed separately so the perf-regression
+    /// suite can benchmark it without constructing gate-defeating inputs.
+    pub fn force_reschedule(
+        &mut self,
+        current: CandidatePair,
+        confidence: f64,
+        similarity: f64,
+    ) -> Decision {
         self.reschedule_count += 1;
 
         // Line 9: predict accuracies for every model from the current model's
@@ -360,6 +375,20 @@ mod tests {
         let decision = scheduler.schedule(current, 0.9, 0.1);
         assert!(decision.rescheduled);
         assert!(!decision.scores.is_empty());
+        assert_eq!(scheduler.reschedule_count(), 1);
+    }
+
+    #[test]
+    fn force_reschedule_bypasses_the_similarity_gate() {
+        let mut scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        // These inputs pass the gate in `schedule` (0.9 * 0.95 >= goal)...
+        let gated = scheduler.schedule(current, 0.9, 0.95);
+        assert!(!gated.rescheduled);
+        // ...but `force_reschedule` runs the full arg-max pass anyway.
+        let forced = scheduler.force_reschedule(current, 0.9, 0.95);
+        assert!(forced.rescheduled);
+        assert!(!forced.scores.is_empty());
         assert_eq!(scheduler.reschedule_count(), 1);
     }
 

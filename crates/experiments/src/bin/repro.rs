@@ -6,6 +6,10 @@
 //! cargo run --release -p shift-experiments --bin repro -- all
 //! cargo run --release -p shift-experiments --bin repro -- table3 fig5
 //! cargo run --release -p shift-experiments --bin repro -- --quick all
+//! cargo run --release -p shift-experiments --bin repro -- --jobs 4 stress
+//! cargo run --release -p shift-experiments --bin repro -- bench
+//! cargo run --release -p shift-experiments --bin repro -- bench-compare a.json b.json
+//! cargo run --release -p shift-experiments --bin repro -- check-stress BENCH_stress.json
 //! ```
 //!
 //! Artifacts: `table1`, `table3`, `table4`, `fig1`, `fig2`, `fig3`, `fig4`,
@@ -13,17 +17,29 @@
 //! ablation studies `ablation-predictor`, `ablation-precision`,
 //! `ablation-powermode`, `ablation-relatedwork`, the `extended` scenario
 //! table and the `fleet` multi-stream scaling experiment (collectively
-//! `ablations`), and `stress` — the generated-scenario difficulty-grid sweep
-//! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot.
+//! `ablations`), `stress` — the generated-scenario difficulty-grid sweep
+//! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot —
+//! and `bench` — the perf-regression micro suite, which writes
+//! `BENCH_micro.json` (when the same invocation also ran `stress`, as in
+//! `repro -- stress bench`, the fresh stress timings are folded in).
+//!
+//! Standalone gate modes: `bench-compare <baseline> <current>
+//! [--threshold F]` diffs two `BENCH_micro.json` snapshots and exits
+//! non-zero when any bench leaves the ±threshold band; `check-stress <path>`
+//! validates that a `BENCH_stress.json` parses and carries a positive
+//! `total_wall_s`.
+//!
 //! `--quick` uses the reduced dataset and scaled-down scenarios (useful for
 //! smoke tests); `--smoke` additionally shrinks the stress sweep to one
-//! scenario per workload class (<= 8 scenarios) and implies `--quick`;
-//! `--seed N` changes the simulation seed.
+//! scenario per workload class (<= 8 scenarios) and the bench suite to its
+//! CI sizing, and implies `--quick`; `--seed N` changes the simulation seed;
+//! `--jobs N` sets the parallel experiment executor's worker count (default:
+//! available parallelism — artifacts are byte-identical for any value).
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress, table1, table3,
-    table4,
+    ablations, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress, table1,
+    table3, table4,
 };
 use std::process::ExitCode;
 
@@ -40,7 +56,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 16] = [
+const ARTIFACTS: [&str; 17] = [
     "table1",
     "table3",
     "table4",
@@ -57,13 +73,109 @@ const ARTIFACTS: [&str; 16] = [
     "extended",
     "fleet",
     "stress",
+    "bench",
 ];
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temporary file first and only a successful write renames it into place,
+/// so a panic or failure mid-run can never leave a truncated or stale-mixed
+/// snapshot behind (the previous snapshot, if any, stays intact).
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// `repro -- bench-compare <baseline> <current> [--threshold F]`.
+fn run_bench_compare(args: &[String]) -> ExitCode {
+    let mut threshold = 0.5f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--threshold requires a value (fraction, e.g. 0.5 for ±50%)");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if v >= 0.0 && v.is_finite() => threshold = v,
+                    _ => {
+                        eprintln!("invalid threshold `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: repro bench-compare <baseline.json> <current.json> [--threshold F]");
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<shift_bench::snapshot::Snapshot, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        shift_bench::snapshot::Snapshot::parse(&text)
+            .map_err(|err| format!("cannot parse {path}: {err}"))
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("{err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let comparison = shift_bench::compare::compare(&baseline, &current);
+    print!("{}", comparison.report(threshold));
+    if comparison.passes(threshold) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `repro -- check-stress <path>`.
+fn run_check_stress(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("usage: repro check-stress <BENCH_stress.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match shift_bench::snapshot::validate_stress(&text) {
+        Ok(timings) => {
+            println!(
+                "{path}: ok (sweep {:.3} s + soak {:.3} s = total {:.3} s)",
+                timings.sweep_wall_s, timings.soak_wall_s, timings.total_wall_s
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Standalone gate modes take positional paths, not artifact lists.
+    match args.first().map(String::as_str) {
+        Some("bench-compare") => return run_bench_compare(&args[1..]),
+        Some("check-stress") => return run_check_stress(&args[1..]),
+        _ => {}
+    }
+
     let mut quick = false;
     let mut smoke = false;
     let mut seed = 2024u64;
+    let mut jobs = executor::default_jobs();
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -82,6 +194,19 @@ fn main() -> ExitCode {
                     Ok(v) => seed = v,
                     Err(_) => {
                         eprintln!("invalid seed `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--jobs" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--jobs requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(v) if v >= 1 => jobs = v,
+                    _ => {
+                        eprintln!("invalid job count `{value}`");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -109,15 +234,21 @@ fn main() -> ExitCode {
     requested.retain(|artifact| seen.insert(artifact.clone()));
 
     eprintln!(
-        "# building experiment context (seed {seed}, {} mode)...",
+        "# building experiment context (seed {seed}, {} mode, {jobs} jobs)...",
         if quick { "quick" } else { "full" }
     );
     let ctx = if quick {
         ExperimentContext::quick(seed)
     } else {
         ExperimentContext::new(seed)
-    };
+    }
+    .with_jobs(jobs);
 
+    // The stress timing JSON this invocation itself produced, if any; the
+    // `bench` artifact only folds stress timings with that provenance (held
+    // in memory rather than re-read from disk, so nothing that touches
+    // BENCH_stress.json between the two artifacts can be misattributed).
+    let mut stress_json: Option<String> = None;
     for artifact in &requested {
         eprintln!("# generating {artifact}...");
         let result = match artifact.as_str() {
@@ -146,16 +277,61 @@ fn main() -> ExitCode {
                 };
                 match stress::artifact(&ctx, &options) {
                     Ok(artifact) => {
-                        if let Err(err) = std::fs::write("BENCH_stress.json", &artifact.bench_json)
-                        {
+                        if let Err(err) = write_atomic("BENCH_stress.json", &artifact.bench_json) {
                             eprintln!("failed to write BENCH_stress.json: {err}");
                             return ExitCode::FAILURE;
                         }
                         eprintln!("# wrote BENCH_stress.json");
+                        stress_json = Some(artifact.bench_json);
                         Ok(artifact.table)
                     }
                     Err(err) => Err(err),
                 }
+            }
+            "bench" => {
+                let options = if smoke {
+                    shift_bench::suite::SuiteOptions::smoke()
+                } else {
+                    shift_bench::suite::SuiteOptions::full()
+                };
+                let rows = shift_bench::suite::run_suite(seed, &options);
+                let mode = if smoke { "smoke" } else { "full" };
+                let mut snapshot = shift_bench::snapshot::Snapshot::new(mode, seed, rows.clone());
+                // Fold in the stress timings only when *this invocation*
+                // generated them (`repro -- stress bench`): a BENCH_stress.json
+                // merely sitting in the working directory — the committed
+                // seed in a fresh checkout, or a leftover from another run —
+                // is another machine's (or commit's) timing and must not be
+                // stamped into this run's snapshot.
+                match &stress_json {
+                    Some(json) => match snapshot.clone().with_stress(json) {
+                        Ok(folded) => snapshot = folded,
+                        Err(err) => eprintln!("# ignoring this run's stress timings: {err}"),
+                    },
+                    None => eprintln!(
+                        "# not folding stress timings (run `repro -- stress bench` to \
+                         capture both in one snapshot)"
+                    ),
+                }
+                if let Err(err) = write_atomic("BENCH_micro.json", &snapshot.to_json()) {
+                    eprintln!("failed to write BENCH_micro.json: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# wrote BENCH_micro.json");
+                let mut table = shift_metrics::Table::new(
+                    format!("Perf micro suite ({mode} mode)"),
+                    &["Bench", "Time/op", "ns/op", "Samples", "Iters/sample"],
+                );
+                for row in &rows {
+                    table.push_row(vec![
+                        row.name.clone(),
+                        row.display_time(),
+                        format!("{:.1}", row.ns_per_op),
+                        row.samples.to_string(),
+                        row.iters_per_sample.to_string(),
+                    ]);
+                }
+                Ok(table)
             }
             "fig5" => {
                 if quick {
@@ -181,10 +357,17 @@ fn main() -> ExitCode {
 }
 
 fn print_help() {
-    eprintln!("usage: repro [--quick] [--smoke] [--seed N] [artifact...]");
+    eprintln!(
+        "usage: repro [--quick] [--smoke] [--seed N] [--jobs N] [artifact...]\n       \
+         repro bench-compare <baseline.json> <current.json> [--threshold F]\n       \
+         repro check-stress <BENCH_stress.json>"
+    );
     eprintln!(
         "artifacts: {} | all (paper artifacts) | ablations (ablation studies)",
         ARTIFACTS.join(" | ")
     );
-    eprintln!("--smoke implies --quick and shrinks `stress` to <= 8 scenarios");
+    eprintln!(
+        "--smoke implies --quick, shrinks `stress` to <= 8 scenarios and `bench` to CI sizing"
+    );
+    eprintln!("--jobs N runs sweeps on N workers (artifacts stay byte-identical for any N)");
 }

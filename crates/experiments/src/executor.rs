@@ -1,0 +1,293 @@
+//! Deterministic parallel experiment executor.
+//!
+//! Every sweep in this harness fans out over a grid of independent cells —
+//! `(scenario, method)` runs for the stress sweep, `(methodology, scenario)`
+//! runs for Table III, parameter configurations for Fig. 5, fleet sizes for
+//! the scaling experiment. Each cell owns an independent [`ExecutionEngine`],
+//! so cells can execute on any thread in any order; what must *never* vary is
+//! the reduction: artifacts are locked byte-for-byte by the golden
+//! determinism tests, so results are always folded back in cell-index order
+//! regardless of how many workers ran them or who finished first.
+//!
+//! The executor is a worker pool over [`std::thread::scope`] fed by a
+//! work-stealing queue. Workers start from strided slices of the index space
+//! (worker `w` owns `w, w + jobs, ...` — sweep grids are typically ordered
+//! easy → hard, so striding interleaves the heavy cells instead of stacking
+//! them on the last worker) and, once their own deque drains, steal from the
+//! back of the fullest remaining deque. The worker count comes from the
+//! `--jobs N` flag of the `repro` binary via
+//! [`ExperimentContext::jobs`](crate::ExperimentContext::jobs), defaulting to
+//! the available parallelism.
+//!
+//! [`ExecutionEngine`]: shift_soc::ExecutionEngine
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Upper bound on the default worker count, matching the cap the sweeps used
+/// before the executor existed (past ~16 workers the memory cost of a live
+/// engine per cell outweighs the remaining speedup).
+pub const MAX_DEFAULT_JOBS: usize = 16;
+
+/// The default worker count: the host's available parallelism, capped at
+/// [`MAX_DEFAULT_JOBS`].
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_DEFAULT_JOBS)
+}
+
+/// The per-worker deques cells are stolen from. Owned indices sit at the
+/// front of each worker's deque; thieves take from the back, so a stolen cell
+/// is the one its owner would have reached last.
+struct CellQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl CellQueue {
+    /// Distributes `cells` indices over `workers` deques in strided order.
+    fn strided(cells: usize, workers: usize) -> Self {
+        let deques = (0..workers)
+            .map(|worker| Mutex::new((worker..cells).step_by(workers).collect()))
+            .collect();
+        Self { deques }
+    }
+
+    /// Pops the next index for `worker`: its own front, or — once its deque
+    /// is empty — the back of the fullest other deque.
+    fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(index) = self.deques[worker]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+        {
+            return Some(index);
+        }
+        loop {
+            // Pick the current fullest victim, then re-lock it to steal; the
+            // deque may have drained in between, in which case rescan.
+            let victim = self
+                .deques
+                .iter()
+                .enumerate()
+                .filter(|(other, _)| *other != worker)
+                .map(|(other, deque)| (deque.lock().expect("queue poisoned").len(), other))
+                .max()?;
+            let (len, victim) = victim;
+            if len == 0 {
+                return None;
+            }
+            if let Some(index) = self.deques[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some(index);
+            }
+        }
+    }
+}
+
+/// Runs `run` over every cell of `cells` on `jobs` workers and returns the
+/// results in cell-index order — byte-identical to a sequential `map`
+/// regardless of `jobs`.
+///
+/// `jobs <= 1` (or a single cell) short-circuits to a plain sequential loop
+/// with no threads spawned.
+pub fn run_cells<I, R, F>(jobs: usize, cells: &[I], run: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let workers = jobs.max(1).min(cells.len().max(1));
+    if workers <= 1 {
+        return cells
+            .iter()
+            .enumerate()
+            .map(|(index, cell)| run(index, cell))
+            .collect();
+    }
+    let queue = CellQueue::strided(cells.len(), workers);
+    let mut results: Vec<Option<R>> = (0..cells.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let queue = &queue;
+            let run = &run;
+            handles.push(scope.spawn(move || {
+                let mut produced = Vec::new();
+                while let Some(index) = queue.pop(worker) {
+                    produced.push((index, run(index, &cells[index])));
+                }
+                produced
+            }));
+        }
+        for handle in handles {
+            for (index, result) in handle.join().expect("executor worker panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every cell index was queued exactly once"))
+        .collect()
+}
+
+/// Fallible variant of [`run_cells`]: returns either all results in
+/// cell-index order or the error of the *lowest-indexed* failing cell — so
+/// even the error a caller observes is independent of the worker count and
+/// scheduling order.
+///
+/// Once a cell errors, later-indexed cells that have not started yet are
+/// skipped (a failing 192-cell sweep aborts in roughly one cell's time
+/// instead of finishing the grid). Skipping only ever jumps over cells with
+/// a *higher* index than some recorded error, and the globally
+/// lowest-indexed failing cell can therefore never be skipped — so the
+/// reported error is still deterministic.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing cell (not the first to complete).
+pub fn try_run_cells<I, R, E, F>(jobs: usize, cells: &[I], run: F) -> Result<Vec<R>, E>
+where
+    I: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &I) -> Result<R, E> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let lowest_error = AtomicUsize::new(usize::MAX);
+    let slots = run_cells(jobs, cells, |index, cell| {
+        if lowest_error.load(Ordering::Relaxed) < index {
+            return None;
+        }
+        let result = run(index, cell);
+        if result.is_err() {
+            lowest_error.fetch_min(index, Ordering::Relaxed);
+        }
+        Some(result)
+    });
+    let mut out = Vec::with_capacity(cells.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(error)) => return Err(error),
+            // A skipped cell implies an error at a lower index, which the
+            // scan above reaches (and returns) first.
+            None => unreachable!("cell skipped without a lower-indexed error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn default_jobs_is_bounded() {
+        let jobs = default_jobs();
+        assert!((1..=MAX_DEFAULT_JOBS).contains(&jobs));
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_for_every_job_count() {
+        let cells: Vec<usize> = (0..37).collect();
+        let sequential = run_cells(1, &cells, |index, &cell| (index, cell * cell));
+        for jobs in [2, 3, 4, 8, 64] {
+            let parallel = run_cells(jobs, &cells, |index, &cell| (index, cell * cell));
+            assert_eq!(parallel, sequential, "jobs={jobs} must not reorder results");
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once_under_stealing() {
+        // Unbalanced cells: the first worker's strided share is far heavier,
+        // so idle workers must steal to finish. Count executions per cell.
+        let cells: Vec<usize> = (0..64).collect();
+        let counts: Vec<AtomicUsize> = (0..cells.len()).map(|_| AtomicUsize::new(0)).collect();
+        run_cells(4, &cells, |index, &cell| {
+            counts[index].fetch_add(1, Ordering::SeqCst);
+            if cell % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            cell
+        });
+        for (index, count) in counts.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                1,
+                "cell {index} ran wrong count"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_cell_grids_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_cells(8, &empty, |_, &c| c).is_empty());
+        assert_eq!(run_cells(8, &[41u32], |_, &c| c + 1), vec![42]);
+    }
+
+    #[test]
+    fn try_run_cells_returns_the_lowest_indexed_error() {
+        let cells: Vec<usize> = (0..40).collect();
+        for jobs in [1, 2, 8] {
+            let result: Result<Vec<usize>, usize> = try_run_cells(jobs, &cells, |index, &cell| {
+                // Cells 7, 23 and 31 fail; 7 must always win the race.
+                if matches!(cell, 7 | 23 | 31) {
+                    Err(index)
+                } else {
+                    Ok(cell)
+                }
+            });
+            assert_eq!(result, Err(7), "jobs={jobs} must report the first error");
+        }
+        let ok: Result<Vec<usize>, usize> = try_run_cells(4, &cells, |_, &cell| Ok(cell));
+        assert_eq!(ok.unwrap(), cells);
+    }
+
+    #[test]
+    fn an_early_error_aborts_later_cells() {
+        // Sequential (jobs=1) path: after cell 3 errors, cells 4.. are
+        // skipped entirely.
+        let cells: Vec<usize> = (0..100).collect();
+        let ran = AtomicUsize::new(0);
+        let result: Result<Vec<usize>, &str> = try_run_cells(1, &cells, |_, &cell| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if cell == 3 {
+                Err("boom")
+            } else {
+                Ok(cell)
+            }
+        });
+        assert_eq!(result, Err("boom"));
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            4,
+            "cells after the error must not run"
+        );
+    }
+
+    #[test]
+    fn stealing_drains_a_hoarded_queue() {
+        // One deque holds everything (jobs > cells would clamp, so emulate by
+        // popping through the queue directly): build a 2-worker queue, drain
+        // worker 0's own cells, then verify worker 0 steals worker 1's.
+        let queue = CellQueue::strided(6, 2);
+        // Worker 0 owns 0, 2, 4; worker 1 owns 1, 3, 5.
+        assert_eq!(queue.pop(0), Some(0));
+        assert_eq!(queue.pop(0), Some(2));
+        assert_eq!(queue.pop(0), Some(4));
+        // Own deque empty: steals from the back of worker 1's.
+        assert_eq!(queue.pop(0), Some(5));
+        assert_eq!(queue.pop(1), Some(1));
+        assert_eq!(queue.pop(1), Some(3));
+        assert_eq!(queue.pop(0), None);
+        assert_eq!(queue.pop(1), None);
+    }
+}

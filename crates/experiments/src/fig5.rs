@@ -172,12 +172,14 @@ pub struct SensitivityRow {
 }
 
 /// Runs the sweep: every configuration of `grid` over the sweep workload
-/// (Scenario 1 and Scenario 2, scaled by the context). Configurations run in
-/// parallel with scoped threads.
+/// (Scenario 1 and Scenario 2, scaled by the context). Configurations run as
+/// cells on the deterministic parallel executor (`ctx.jobs()` workers) and
+/// reduce in grid order, so the correlation table is identical for any
+/// worker count.
 ///
 /// # Errors
 ///
-/// Propagates the first execution failure.
+/// Propagates the first (lowest-indexed) execution failure.
 pub fn sweep(
     ctx: &ExperimentContext,
     grid: &SweepGrid,
@@ -187,42 +189,9 @@ pub fn sweep(
         ctx.scaled(Scenario::scenario_1()),
         ctx.scaled(Scenario::scenario_2()),
     ];
-    let mut points: Vec<Option<Result<SweepPoint, ExperimentError>>> =
-        (0..configs.len()).map(|_| None).collect();
-    // Bound the number of worker threads to keep memory in check.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16);
-    let chunk_size = configs.len().div_ceil(workers).max(1);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_index, chunk) in configs.chunks(chunk_size).enumerate() {
-            let ctx_ref = &*ctx;
-            let scenarios_ref = &scenarios;
-            handles.push((
-                chunk_index,
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|config| run_point(ctx_ref, scenarios_ref, config.clone()))
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (chunk_index, handle) in handles {
-            let results = handle.join().expect("sweep thread panicked");
-            for (offset, result) in results.into_iter().enumerate() {
-                points[chunk_index * chunk_size + offset] = Some(result);
-            }
-        }
-    });
-
-    let mut out = Vec::with_capacity(configs.len());
-    for point in points.into_iter().flatten() {
-        out.push(point?);
-    }
-    Ok(out)
+    crate::executor::try_run_cells(ctx.jobs(), &configs, |_, config| {
+        run_point(ctx, &scenarios, config.clone())
+    })
 }
 
 fn run_point(

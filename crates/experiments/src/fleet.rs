@@ -136,16 +136,19 @@ pub fn run_specs(
     })
 }
 
-/// Runs the scaling sweep over the given fleet sizes.
+/// Runs the scaling sweep over the given fleet sizes. Fleet sizes run as
+/// cells on the deterministic parallel executor (`ctx.jobs()` workers); each
+/// fleet owns an independent engine and results reduce in size order, so the
+/// sweep is byte-identical for any worker count.
 ///
 /// # Errors
 ///
-/// Propagates the first fleet failure.
+/// Propagates the first (lowest-indexed) fleet failure.
 pub fn scaling(
     ctx: &ExperimentContext,
     sizes: &[usize],
 ) -> Result<Vec<FleetScalePoint>, ExperimentError> {
-    sizes.iter().map(|&n| run_fleet(ctx, n)).collect()
+    crate::executor::try_run_cells(ctx.jobs(), sizes, |_, &n| run_fleet(ctx, n))
 }
 
 /// Generates the fleet-scaling table (full sizes at full fidelity, reduced

@@ -29,6 +29,12 @@
 //! procedurally generated difficulty grid (`shift_video::generator`) and
 //! soaks the fleet runtime with a generated mixed workload.
 //!
+//! All of those sweeps fan out on [`executor`], the deterministic parallel
+//! experiment executor: a work-stealing worker pool whose index-ordered
+//! reduction keeps every artifact byte-identical for any worker count (the
+//! `--jobs N` flag of the `repro` binary, surfaced here as
+//! [`ExperimentContext::jobs`]).
+//!
 //! Run everything from the command line with
 //! `cargo run --release -p shift-experiments --bin repro -- all`.
 //!
@@ -42,6 +48,7 @@
 //! ```
 
 pub mod ablations;
+pub mod executor;
 pub mod extended;
 pub mod fig1;
 pub mod fig2;
@@ -120,6 +127,8 @@ pub struct ExperimentContext {
     /// Scenario-length scale factor in `(0, 1]`; experiments multiply each
     /// scenario's frame count by this factor (minimum 30 frames).
     scale: f64,
+    /// Worker count for the parallel experiment executor (the `--jobs` flag).
+    jobs: usize,
 }
 
 impl ExperimentContext {
@@ -149,7 +158,21 @@ impl ExperimentContext {
             response,
             characterization,
             scale: scale.clamp(0.001, 1.0),
+            jobs: executor::default_jobs(),
         }
+    }
+
+    /// Sets the worker count used by the parallel experiment executor. Every
+    /// sweep produces byte-identical artifacts for any `jobs >= 1`; the knob
+    /// only trades wall-clock time for cores.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The executor worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// The seed driving the simulation.
@@ -291,6 +314,8 @@ mod tests {
         }
         assert!(ctx.scale() < 0.1);
         assert_eq!(ctx.seed(), 1);
+        assert!(ctx.jobs() >= 1, "default jobs come from the host");
+        assert_eq!(ctx.with_jobs(0).jobs(), 1, "jobs are clamped to >= 1");
     }
 
     #[test]

@@ -74,93 +74,62 @@ pub fn generated_grid(ctx: &ExperimentContext, replicas: usize) -> Vec<(Scenario
         .collect()
 }
 
-/// Runs the three methodologies over one generated scenario and returns its
-/// rows, in [`METHODS`] order.
-fn run_scenario(
+/// Runs one methodology of [`METHODS`] over one generated scenario and
+/// reduces it to its CSV row.
+fn run_method(
     ctx: &ExperimentContext,
     spec: &ScenarioSpec,
     scenario: &Scenario,
-) -> Result<Vec<ScenarioRow>, ExperimentError> {
-    let shift_config = paper_shift_config().with_accuracy_goal(spec.accuracy_goal);
-    let runs = [
-        ("SHIFT", ctx.run_shift(scenario, shift_config)?),
-        (
-            "Marlin",
-            ctx.run_marlin(scenario, MarlinConfig::standard())?,
-        ),
-        (
-            "Oracle E",
-            ctx.run_oracle(scenario, OracleObjective::Energy)?,
-        ),
-    ];
-    Ok(runs
-        .into_iter()
-        .map(|(method, records)| {
-            ScenarioRow::from_records(
-                scenario.name(),
-                spec.name.clone(),
-                spec.difficulty.label(),
-                spec.environment.to_string(),
-                method,
-                spec.accuracy_goal,
-                &records,
-            )
-        })
-        .collect())
+    method: &str,
+) -> Result<ScenarioRow, ExperimentError> {
+    let records = match method {
+        "SHIFT" => {
+            let config = paper_shift_config().with_accuracy_goal(spec.accuracy_goal);
+            ctx.run_shift(scenario, config)?
+        }
+        "Marlin" => ctx.run_marlin(scenario, MarlinConfig::standard())?,
+        "Oracle E" => ctx.run_oracle(scenario, OracleObjective::Energy)?,
+        other => unreachable!("unknown stress method {other}"),
+    };
+    Ok(ScenarioRow::from_records(
+        scenario.name(),
+        spec.name.clone(),
+        spec.difficulty.label(),
+        spec.environment.to_string(),
+        method,
+        spec.accuracy_goal,
+        &records,
+    ))
 }
 
 /// Runs the sweep: every methodology over every generated scenario, rows in
-/// grid-major (class, replica, method) order. Scenarios run in parallel with
-/// scoped worker threads (capped at the available parallelism, like the
-/// fig5 sweep, so a 64-scenario full grid does not oversubscribe the host
-/// and distort the BENCH timing snapshot); each run owns an independent
-/// engine.
+/// grid-major (class, replica, method) order. The `(scenario, method)` cells
+/// run on the deterministic parallel executor with `ctx.jobs()` workers —
+/// each cell owns an independent engine, and the index-ordered reduction
+/// keeps the breakdown byte-identical to a sequential run for any worker
+/// count.
 ///
 /// # Errors
 ///
-/// Propagates the first failure from any run.
+/// Propagates the first (lowest-indexed) failure from any run.
 pub fn sweep(
     ctx: &ExperimentContext,
     options: &StressOptions,
 ) -> Result<ScenarioBreakdown, ExperimentError> {
     let grid = generated_grid(ctx, options.replicas);
-    let mut results: Vec<Option<Result<Vec<ScenarioRow>, ExperimentError>>> =
-        (0..grid.len()).map(|_| None).collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
-        .min(grid.len().max(1));
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        // Strided assignment (worker w takes indices w, w+workers, ...):
-        // the grid is class-major easy→extreme, so contiguous chunks would
-        // stack all the heaviest scenarios on the last workers and gate the
-        // sweep on an imbalanced tail; striding interleaves the classes.
-        for worker in 0..workers {
-            let ctx_ref = &*ctx;
-            let grid_ref = &grid;
-            handles.push(scope.spawn(move || {
-                (worker..grid_ref.len())
-                    .step_by(workers)
-                    .map(|index| {
-                        let (spec, scenario) = &grid_ref[index];
-                        (index, run_scenario(ctx_ref, spec, scenario))
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for handle in handles {
-            for (index, result) in handle.join().expect("stress scenario thread panicked") {
-                results[index] = Some(result);
-            }
-        }
-    });
+    let cells: Vec<(usize, &str)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(scenario_index, _)| METHODS.map(|method| (scenario_index, method)))
+        .collect();
+    let rows =
+        crate::executor::try_run_cells(ctx.jobs(), &cells, |_, &(scenario_index, method)| {
+            let (spec, scenario) = &grid[scenario_index];
+            run_method(ctx, spec, scenario, method)
+        })?;
     let mut breakdown = ScenarioBreakdown::new();
-    for result in results.into_iter().flatten() {
-        for row in result? {
-            breakdown.push(row);
-        }
+    for row in rows {
+        breakdown.push(row);
     }
     Ok(breakdown)
 }

@@ -91,45 +91,36 @@ pub fn run_methodology(
     }
 }
 
-/// Runs every methodology over every evaluation scenario. Scenarios are
-/// processed in parallel with scoped threads (each run owns an independent
-/// engine, so runs never share mutable state).
+/// Runs every methodology over every evaluation scenario. The whole
+/// `(methodology, scenario)` grid runs as cells on the deterministic parallel
+/// executor (`ctx.jobs()` workers); each run owns an independent engine, and
+/// the index-ordered reduction keeps the table identical for any worker
+/// count.
 ///
 /// # Errors
 ///
-/// Propagates the first failure from any run.
+/// Propagates the first (lowest-indexed) failure from any run.
 pub fn compute(ctx: &ExperimentContext) -> Result<Table3Results, ExperimentError> {
     let scenarios = ctx.scenarios();
+    let cells: Vec<(Methodology, &Scenario)> = Methodology::ALL
+        .iter()
+        .flat_map(|&methodology| scenarios.iter().map(move |s| (methodology, s)))
+        .collect();
+    let summaries =
+        crate::executor::try_run_cells(ctx.jobs(), &cells, |_, &(methodology, scenario)| {
+            run_methodology(ctx, methodology, scenario).map(|records| {
+                RunSummary::from_records(
+                    format!("{} / {}", methodology.label(), scenario.name()),
+                    &records,
+                )
+            })
+        })?;
     let mut per_scenario = Vec::new();
-    for &methodology in &Methodology::ALL {
-        // Parallelize across scenarios for this methodology.
-        let mut results: Vec<Option<Result<RunSummary, ExperimentError>>> =
-            (0..scenarios.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (index, scenario) in scenarios.iter().enumerate() {
-                let ctx_ref = &*ctx;
-                handles.push((
-                    index,
-                    scope.spawn(move || {
-                        run_methodology(ctx_ref, methodology, scenario).map(|records| {
-                            RunSummary::from_records(
-                                format!("{} / {}", methodology.label(), scenario.name()),
-                                &records,
-                            )
-                        })
-                    }),
-                ));
-            }
-            for (index, handle) in handles {
-                results[index] = Some(handle.join().expect("scenario thread panicked"));
-            }
-        });
-        let mut summaries = Vec::new();
-        for result in results.into_iter().flatten() {
-            summaries.push(result?);
-        }
-        per_scenario.push((methodology, summaries));
+    for (chunk, &methodology) in summaries
+        .chunks(scenarios.len())
+        .zip(Methodology::ALL.iter())
+    {
+        per_scenario.push((methodology, chunk.to_vec()));
     }
 
     let mut summaries = Vec::new();

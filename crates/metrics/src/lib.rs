@@ -40,6 +40,7 @@ pub mod report;
 pub mod stats;
 pub mod summary;
 pub mod timeline;
+pub mod timing;
 
 pub use breakdown::{BreakdownAggregate, ScenarioBreakdown, ScenarioRow, SCENARIO_CSV_HEADER};
 pub use curve::{
@@ -55,3 +56,4 @@ pub use report::Table;
 pub use stats::{mean, pearson_correlation, percentile, std_dev};
 pub use summary::RunSummary;
 pub use timeline::Timeline;
+pub use timing::{TimingRow, TIMING_CSV_HEADER};

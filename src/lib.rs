@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub use shift_baselines as baselines;
+pub use shift_bench as bench;
 pub use shift_core as core;
 pub use shift_experiments as experiments;
 pub use shift_metrics as metrics;

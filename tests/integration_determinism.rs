@@ -161,8 +161,66 @@ fn golden_stress_summary_csv_is_byte_identical_across_runs() {
     );
 }
 
+/// The parallel experiment executor must be invisible in every artifact:
+/// `--jobs 1/2/4/8` produce byte-identical stress summary CSVs and identical
+/// fleet scaling outcomes. Any worker-count-dependent behaviour anywhere in
+/// the executor (result reordering, lost or duplicated cells, cross-cell
+/// state leaks) shows up here as a diff against the sequential path.
+#[test]
+fn parallel_executor_jobs_do_not_change_artifacts() {
+    use shift_experiments::stress::{self, StressOptions};
+    let stress_summary = |jobs: usize| {
+        let ctx = ExperimentContext::quick(91).with_jobs(jobs);
+        stress::summary_csv(&ctx, &StressOptions::smoke()).expect("stress summary builds")
+    };
+    let fleet_points = |jobs: usize| {
+        let ctx = ExperimentContext::quick(91).with_jobs(jobs);
+        shift_experiments::fleet::scaling(&ctx, &[1, 2]).expect("fleet scaling runs")
+    };
+    let sequential_csv = stress_summary(1);
+    let sequential_fleet = fleet_points(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            stress_summary(jobs),
+            sequential_csv,
+            "stress summary CSV must be byte-identical at --jobs {jobs}"
+        );
+        assert_eq!(
+            fleet_points(jobs),
+            sequential_fleet,
+            "fleet outcomes must be identical at --jobs {jobs}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Executor property: for any cell count, worker count and
+    /// (deterministically pseudo-random) per-cell workload, the parallel
+    /// reduction equals the sequential one, cell for cell.
+    #[test]
+    fn executor_reduction_matches_sequential_for_any_job_count(
+        seed in 0u64..1000,
+        cells in 1usize..80,
+        jobs in 2usize..12,
+    ) {
+        use shift_experiments::executor::run_cells;
+        let inputs: Vec<u64> = (0..cells as u64).map(|i| i.wrapping_mul(seed + 1)).collect();
+        let work = |index: usize, &input: &u64| {
+            // A branchy, unevenly sized workload: heavier cells spin longer,
+            // so workers finish out of order and stealing actually happens.
+            let rounds = (input % 97) * 50 + 1;
+            let mut acc = input ^ index as u64;
+            for round in 0..rounds {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(round);
+            }
+            (index, acc)
+        };
+        let sequential = run_cells(1, &inputs, work);
+        let parallel = run_cells(jobs, &inputs, work);
+        prop_assert_eq!(parallel, sequential);
+    }
 
     /// IoU is symmetric, bounded and equals 1 only for identical boxes.
     #[test]
