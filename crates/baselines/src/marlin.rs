@@ -105,12 +105,26 @@ impl MarlinRuntime {
         self.detector_invocations
     }
 
+    /// Mutable access to the engine — the hook failure-injection harnesses
+    /// use to apply platform faults between frames.
+    pub fn engine_mut(&mut self) -> &mut ExecutionEngine {
+        &mut self.engine
+    }
+
     /// Processes one frame: track if possible, otherwise detect.
     ///
     /// # Errors
     ///
-    /// Propagates execution errors from the SoC simulator.
+    /// Propagates execution errors from the SoC simulator. During an outage
+    /// of the pinned accelerator the frame fails *before any state is
+    /// consumed* — pending load charges, the tracker budget and the
+    /// detector count all survive to the first post-recovery frame, so a
+    /// failure-injection harness that records the outage as blind frames
+    /// never loses the initial load cost from the record stream.
     pub fn process_frame(&mut self, frame: &Frame) -> Result<FrameRecord, SocError> {
+        if !self.engine.is_online(self.config.accelerator) {
+            return Err(SocError::AcceleratorOffline(self.config.accelerator));
+        }
         let load_time = std::mem::take(&mut self.pending_load_time_s);
         let load_energy = std::mem::take(&mut self.pending_load_energy_j);
 
@@ -193,6 +207,32 @@ mod tests {
             ModelZoo::standard(),
             ResponseModel::new(8),
         )
+    }
+
+    #[test]
+    fn outage_fails_fast_and_preserves_the_pending_load_charge() {
+        let mut marlin = MarlinRuntime::new(engine(), MarlinConfig::standard()).unwrap();
+        let accelerator = marlin.config().accelerator;
+        let frame = Scenario::scenario_3().stream().next().unwrap();
+        marlin
+            .engine_mut()
+            .set_accelerator_online(accelerator, false);
+        let err = marlin.process_frame(&frame).unwrap_err();
+        assert!(matches!(err, SocError::AcceleratorOffline(_)));
+        assert_eq!(
+            marlin.detector_invocations(),
+            0,
+            "a refused frame must not count as a detector invocation"
+        );
+        // The initial model-load charge survives the outage: the first
+        // post-recovery frame still carries it.
+        marlin
+            .engine_mut()
+            .set_accelerator_online(accelerator, true);
+        let first = marlin.process_frame(&frame).unwrap();
+        let mut healthy = MarlinRuntime::new(engine(), MarlinConfig::standard()).unwrap();
+        let reference = healthy.process_frame(&frame).unwrap();
+        assert_eq!(first, reference, "the outage must not consume any state");
     }
 
     #[test]

@@ -98,17 +98,38 @@ impl OracleRuntime {
         self.swap_count
     }
 
-    /// Processes one frame: probe every pair, filter by IoU >= 0.5, pick the
-    /// best according to the objective.
+    /// Mutable access to the engine — the hook failure-injection harnesses
+    /// use to apply platform faults between frames.
+    pub fn engine_mut(&mut self) -> &mut ExecutionEngine {
+        &mut self.engine
+    }
+
+    /// Processes one frame: probe every pair whose accelerator is accepting
+    /// work, filter by IoU >= 0.5, pick the best according to the objective.
+    /// The Oracle keeps its zero-cost model loading, but it cannot see
+    /// through an outage: offline accelerators are excluded from the probe
+    /// set until they recover.
     ///
     /// # Errors
     ///
-    /// Propagates probing errors from the SoC simulator (none are expected
-    /// for validated pairs).
+    /// Propagates probing errors from the SoC simulator, and reports
+    /// [`SocError::AcceleratorOffline`] (naming the first candidate's
+    /// accelerator) when every candidate accelerator is offline at once.
     pub fn process_frame(&mut self, frame: &Frame) -> Result<FrameRecord, SocError> {
         let mut probes: Vec<InferenceReport> = Vec::with_capacity(self.pairs.len());
         for &(model, accelerator) in &self.pairs {
+            if !self.engine.is_online(accelerator) {
+                continue;
+            }
             probes.push(self.engine.probe_inference(model, accelerator, frame)?);
+        }
+        if probes.is_empty() {
+            return Err(SocError::AcceleratorOffline(
+                self.pairs
+                    .first()
+                    .map(|&(_, accelerator)| accelerator)
+                    .unwrap_or(AcceleratorId::Gpu),
+            ));
         }
         let iou_of = |report: &InferenceReport| report.result.iou_against(frame.truth.as_ref());
 
@@ -198,6 +219,30 @@ mod tests {
 
     fn oracle(objective: OracleObjective) -> OracleRuntime {
         OracleRuntime::new(engine(), objective, &ORACLE_ACCELERATORS).unwrap()
+    }
+
+    #[test]
+    fn oracle_avoids_offline_accelerators_and_errors_when_all_are_down() {
+        let mut o = oracle(OracleObjective::Energy);
+        let frame = Scenario::scenario_3().stream().next().unwrap();
+        o.engine_mut()
+            .set_accelerator_online(AcceleratorId::Gpu, false);
+        let record = o.process_frame(&frame).unwrap();
+        assert_ne!(
+            record.accelerator,
+            AcceleratorId::Gpu,
+            "the Oracle cannot see through an outage"
+        );
+        for accelerator in ORACLE_ACCELERATORS {
+            o.engine_mut().set_accelerator_online(accelerator, false);
+        }
+        let err = o.process_frame(&frame).unwrap_err();
+        assert!(matches!(err, SocError::AcceleratorOffline(_)));
+        // Recovery restores the full candidate set.
+        for accelerator in ORACLE_ACCELERATORS {
+            o.engine_mut().set_accelerator_online(accelerator, true);
+        }
+        assert!(o.process_frame(&frame).is_ok());
     }
 
     #[test]

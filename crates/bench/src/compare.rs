@@ -10,6 +10,13 @@
 //! than silently absorbed). A bench present in the baseline but missing from
 //! the current run also fails the gate: deleting a hot-path bench must be an
 //! explicit decision.
+//!
+//! Two degenerate inputs are rejected rather than silently absorbed: a bench
+//! with a non-positive ns/op on either side fails the gate (its ratio is
+//! meaningless — the suite never emits one, so a zero-time row means a
+//! hand-edited or corrupted snapshot), and a non-positive `--threshold` is
+//! refused by the `repro bench-compare` CLI (a zero band degenerates to
+//! exact equality, a negative one rejects everything).
 
 use crate::snapshot::Snapshot;
 
@@ -58,6 +65,10 @@ pub struct Comparison {
     pub only_baseline: Vec<String>,
     /// Bench names only the current snapshot has (informational: new bench).
     pub only_current: Vec<String>,
+    /// Benches whose baseline or current ns/op is non-positive (fail: the
+    /// ratio band is meaningless for them; the suite never emits a zero-time
+    /// row, so one means a hand-edited or corrupted snapshot).
+    pub degenerate: Vec<String>,
     /// Whether the two snapshots were taken in the same mode; comparing a
     /// `smoke` run against a `full` baseline is meaningless and fails.
     pub modes_match: bool,
@@ -69,24 +80,36 @@ pub fn compare(baseline: &Snapshot, current: &Snapshot) -> Comparison {
     let mut only_baseline = Vec::new();
     for base in &baseline.benches {
         match current.benches.iter().find(|b| b.name == base.name) {
-            Some(matching) => deltas.push(BenchDelta {
-                name: base.name.clone(),
-                baseline_ns: base.ns_per_op,
-                current_ns: matching.ns_per_op,
-            }),
+            Some(matching) => {
+                deltas.push(BenchDelta {
+                    name: base.name.clone(),
+                    baseline_ns: base.ns_per_op,
+                    current_ns: matching.ns_per_op,
+                });
+            }
             None => only_baseline.push(base.name.clone()),
         }
     }
-    let only_current = current
+    let only_current: Vec<String> = current
         .benches
         .iter()
         .filter(|b| !baseline.benches.iter().any(|base| base.name == b.name))
         .map(|b| b.name.clone())
         .collect();
+    // A non-positive timing on *either side* is degenerate — including a
+    // zero-time bench that only one snapshot has, which would otherwise
+    // slip through as informational and poison the next baseline.
+    let mut degenerate = Vec::new();
+    for bench in baseline.benches.iter().chain(&current.benches) {
+        if bench.ns_per_op <= 0.0 && !degenerate.contains(&bench.name) {
+            degenerate.push(bench.name.clone());
+        }
+    }
     Comparison {
         deltas,
         only_baseline,
         only_current,
+        degenerate,
         modes_match: baseline.mode == current.mode,
     }
 }
@@ -101,9 +124,13 @@ impl Comparison {
     }
 
     /// Whether the gate passes: modes match, no baseline bench disappeared,
-    /// and every shared bench is within the band.
+    /// no bench carries a degenerate (non-positive) timing, and every shared
+    /// bench is within the band.
     pub fn passes(&self, threshold: f64) -> bool {
-        self.modes_match && self.only_baseline.is_empty() && self.out_of_band(threshold).is_empty()
+        self.modes_match
+            && self.only_baseline.is_empty()
+            && self.degenerate.is_empty()
+            && self.out_of_band(threshold).is_empty()
     }
 
     /// Renders the per-bench report the CI log shows, one line per bench
@@ -131,6 +158,12 @@ impl Comparison {
                 "GONE {name} (in baseline, missing from current run)\n"
             ));
         }
+        for name in &self.degenerate {
+            out.push_str(&format!(
+                "ZERO {name} (non-positive ns/op — corrupted or hand-edited snapshot; \
+                 regenerate it)\n"
+            ));
+        }
         for name in &self.only_current {
             out.push_str(&format!("new  {name} (not in baseline)\n"));
         }
@@ -145,10 +178,11 @@ impl Comparison {
             )
         } else {
             format!(
-                "FAIL: {} bench(es) outside ±{:.0}% band, {} missing\n",
+                "FAIL: {} bench(es) outside ±{:.0}% band, {} missing, {} degenerate\n",
                 self.out_of_band(threshold).len(),
                 threshold * 100.0,
-                self.only_baseline.len()
+                self.only_baseline.len(),
+                self.degenerate.len()
             )
         };
         out.push_str(&verdict);
@@ -244,5 +278,37 @@ mod tests {
         };
         assert_eq!(delta.ratio(), 1.0);
         assert!(delta.within_band(0.0));
+    }
+
+    #[test]
+    fn zero_time_rows_fail_the_gate_with_a_clear_report() {
+        // A 0-time row's ratio degenerates to 1.0 and would sail through any
+        // band; the gate must reject it explicitly instead.
+        let baseline = snapshot("smoke", &[("x/a", 0.0), ("x/b", 100.0)]);
+        let current = snapshot("smoke", &[("x/a", 100.0), ("x/b", 100.0)]);
+        let comparison = compare(&baseline, &current);
+        assert_eq!(comparison.degenerate, vec!["x/a".to_string()]);
+        assert!(
+            !comparison.passes(0.5),
+            "a degenerate row fails any threshold"
+        );
+        let report = comparison.report(0.5);
+        assert!(report.contains("ZERO x/a"));
+        assert!(report.contains("1 degenerate"));
+        // The degenerate side can also be the current run.
+        let comparison = compare(&current, &baseline);
+        assert_eq!(comparison.degenerate, vec!["x/a".to_string()]);
+        assert!(!comparison.passes(10.0));
+        // Healthy snapshots report no degenerate rows.
+        assert!(compare(&current, &current.clone()).degenerate.is_empty());
+        // A zero-time bench that only the current snapshot has must fail
+        // too — otherwise it sails through as informational and poisons the
+        // next baseline.
+        let with_new_zero = snapshot("smoke", &[("x/a", 100.0), ("x/b", 100.0), ("x/new", 0.0)]);
+        let healthy = snapshot("smoke", &[("x/a", 100.0), ("x/b", 100.0)]);
+        let comparison = compare(&healthy, &with_new_zero);
+        assert_eq!(comparison.only_current, vec!["x/new".to_string()]);
+        assert_eq!(comparison.degenerate, vec!["x/new".to_string()]);
+        assert!(!comparison.passes(10.0));
     }
 }

@@ -35,11 +35,13 @@
 use crate::characterize::Characterization;
 use crate::config::ShiftConfig;
 use crate::loader::DynamicModelLoader;
-use crate::runtime::{FrameOutcome, LoadCharge, StreamAgent};
+use crate::runtime::{FrameOutcome, LoadCharge, ResilienceCounters, StreamAgent};
 use crate::scheduler::{CandidatePair, Decision};
 use crate::ShiftError;
 use serde::{Deserialize, Serialize};
-use shift_soc::{ExecutionEngine, MemoryArbiter, OccupancyTracker, SocError};
+use shift_soc::{
+    ExecutionEngine, FaultInjector, FaultPlan, MemoryArbiter, OccupancyTracker, SocError,
+};
 use shift_video::{Frame, FrameStream, Scenario};
 
 /// Description of one stream joining a fleet: a scenario to play and the
@@ -139,6 +141,7 @@ struct StreamState {
     clock_s: f64,
     processed: usize,
     total_frames: usize,
+    resilience: ResilienceCounters,
 }
 
 /// Drives N concurrent SHIFT streams against a single shared
@@ -174,6 +177,11 @@ pub struct FleetRuntime {
     arbiter: MemoryArbiter,
     streams: Vec<StreamState>,
     config: FleetConfig,
+    /// Optional scripted fault injector, advanced once per fleet step.
+    injector: Option<FaultInjector>,
+    /// Frames admitted so far: the fleet-wide discrete clock faults are
+    /// keyed on.
+    steps: u64,
 }
 
 impl FleetRuntime {
@@ -206,6 +214,8 @@ impl FleetRuntime {
             arbiter: MemoryArbiter::new(),
             streams: Vec::with_capacity(specs.len()),
             config,
+            injector: None,
+            steps: 0,
         };
         for spec in specs {
             let mut agent = StreamAgent::new(characterization, spec.config)?;
@@ -237,9 +247,34 @@ impl FleetRuntime {
                 clock_s: 0.0,
                 processed: 0,
                 total_frames,
+                resilience: ResilienceCounters::default(),
             });
         }
         Ok(fleet)
+    }
+
+    /// Attaches a scripted fault plan: the injector is advanced once per
+    /// fleet step (keyed on the count of frames admitted so far) and applies
+    /// every fault through the shared engine's degradation surfaces. A
+    /// zero-fault plan leaves every outcome bit-identical to a run without
+    /// one.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(FaultInjector::new(plan));
+        self
+    }
+
+    /// The fault injector, when a plan is attached.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Resilience counters of stream `index` (all zero on a healthy run).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn stream_resilience(&self, index: usize) -> ResilienceCounters {
+        self.streams[index].resilience
     }
 
     /// Number of streams in the fleet.
@@ -323,6 +358,13 @@ impl FleetRuntime {
     /// pressure and per-pair incompatibilities are handled by degrading to
     /// the next-best candidate, not reported as errors.
     pub fn step(&mut self) -> Result<Option<FleetFrameOutcome>, ShiftError> {
+        // Scripted platform faults land at the step boundary, before
+        // admission, so every stream observes the same platform state a
+        // sequential replay would. Re-running a failed step re-advances to
+        // the same frame, which is idempotent.
+        if let Some(injector) = self.injector.as_mut() {
+            injector.advance(self.steps, &mut self.engine);
+        }
         let Some(index) = self.next_stream() else {
             return Ok(None);
         };
@@ -342,6 +384,7 @@ impl FleetRuntime {
         let state = &mut self.streams[index];
         state.processed += 1;
         state.next_frame = state.stream.next().map(Box::new);
+        self.steps += 1;
         Ok(Some(outcome))
     }
 
@@ -420,7 +463,28 @@ impl FleetRuntime {
         index: usize,
         frame: &Frame,
     ) -> Result<FleetFrameOutcome, ShiftError> {
-        let decision = self.streams[index].agent.decide(frame);
+        let fault_active = self.injector.as_ref().is_some_and(|i| i.is_fault_active());
+        let mut decision = self.streams[index].agent.decide(frame);
+        if !self.engine.is_online(decision.pair.accelerator) && decision.scores.is_empty() {
+            // The similarity gate kept a pair whose accelerator dropped out:
+            // run the full Algorithm 1 pass so the degrade path below has a
+            // complete score ranking to walk. A natural re-schedule that
+            // picked the offline pair already carries its scores, and
+            // re-running the pass would double-push the same predictions
+            // into the momentum buffers. The counter only attributes the
+            // re-plan to the fault subsystem when the kept pair's own
+            // accelerator is fault-dropped (a thermal trip triggers the same
+            // survival path but is not injected-fault exposure, even while
+            // an unrelated fault window is active).
+            let dropped = fault_active
+                && self
+                    .engine
+                    .is_administratively_offline(decision.pair.accelerator);
+            decision = self.streams[index].agent.replan(&decision);
+            if dropped {
+                self.streams[index].resilience.fault_replans += 1;
+            }
+        }
         let old = self.streams[index].agent.current_pair();
         let (pair, charge) = self.acquire_pair(&decision, old)?;
 
@@ -435,6 +499,14 @@ impl FleetRuntime {
         if pair != old {
             self.arbiter.unpin(old.model, old.accelerator);
             self.arbiter.pin(pair.model, pair.accelerator);
+        }
+        if fault_active {
+            self.streams[index].resilience.fault_frames += 1;
+            if pair != decision.pair
+                && crate::runtime::fault_on_decided_pair(&self.engine, decision.pair)
+            {
+                self.streams[index].resilience.degraded_frames += 1;
+            }
         }
         let (mut load_time, mut load_energy) = self.streams[index].agent.take_pending_load();
         load_time += charge.time_s;
@@ -511,21 +583,7 @@ impl FleetRuntime {
 
         // Slow path: the remaining candidates in score order, then the
         // incumbent pair.
-        let mut scored = decision.scores.clone();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are finite")
-                .then(a.0.cmp(&b.0))
-        });
-        let mut candidates: Vec<CandidatePair> = scored.iter().map(|&(pair, _)| pair).collect();
-        candidates.push(old);
-        let mut seen = vec![decision.pair];
-        candidates.retain(|pair| {
-            let fresh = !seen.contains(pair);
-            seen.push(*pair);
-            fresh
-        });
-        for &pair in &candidates {
+        for pair in decision.fallback_candidates(old) {
             match self.try_candidate(pair, old)? {
                 CandidateOutcome::Acquired(result) => return Ok(result),
                 CandidateOutcome::MemoryBlocked => {
@@ -557,6 +615,19 @@ impl FleetRuntime {
         pair: CandidatePair,
         old: CandidatePair,
     ) -> Result<CandidateOutcome, ShiftError> {
+        // An offline accelerator is unusable even when the model is still
+        // resident on it (the loader's already-resident fast path would
+        // otherwise hand back a pair the engine then refuses to run).
+        if !self.engine.is_online(pair.accelerator) {
+            return Ok(CandidateOutcome::Skipped);
+        }
+        // A model that cannot fit the (possibly squeezed) pool even empty is
+        // skipped without touching the pool: `ensure_loaded` would evict
+        // every unprotected resident before failing, and no amount of
+        // unpinning could help.
+        if !crate::runtime::can_ever_fit(&self.engine, pair) {
+            return Ok(CandidateOutcome::Skipped);
+        }
         if pair == old && self.engine.is_loaded(pair.model, pair.accelerator) {
             self.loader.touch(pair);
             return Ok(CandidateOutcome::Acquired((pair, LoadCharge::default())));

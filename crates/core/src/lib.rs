@@ -66,7 +66,7 @@ pub use loader::{DynamicModelLoader, LoadOutcome};
 pub use predictor::{
     prediction_mae, AccuracyPredictor, EnsemblePredictor, PassthroughPredictor, RegressionPredictor,
 };
-pub use runtime::{FrameOutcome, LoadCharge, ShiftRuntime, StreamAgent};
+pub use runtime::{FrameOutcome, LoadCharge, ResilienceCounters, ShiftRuntime, StreamAgent};
 pub use scheduler::{CandidatePair, Decision, Scheduler};
 pub use traits::{AcceleratorStats, ModelTraits};
 
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::config::{Knobs, ShiftConfig};
     pub use crate::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
     pub use crate::graph::{ConfidenceGraph, GraphConfig};
-    pub use crate::runtime::{FrameOutcome, ShiftRuntime};
+    pub use crate::runtime::{FrameOutcome, ResilienceCounters, ShiftRuntime};
     pub use crate::scheduler::{CandidatePair, Scheduler};
     pub use crate::ShiftError;
 }

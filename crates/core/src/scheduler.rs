@@ -60,6 +60,32 @@ pub struct Decision {
     pub scores: Vec<(CandidatePair, f64)>,
 }
 
+impl Decision {
+    /// The fallback order a driver degrades along when the decided pair is
+    /// unusable (offline or memory-blocked): every scored candidate from
+    /// best to worst (ties broken on the pair ordering so the walk is
+    /// deterministic), then `incumbent`, with the decided pair and
+    /// duplicates removed. Both the single-stream runtime and the fleet walk
+    /// exactly this order, so their degradation behaviour cannot diverge.
+    pub fn fallback_candidates(&self, incumbent: CandidatePair) -> Vec<CandidatePair> {
+        let mut scored = self.scores.clone();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        let mut candidates: Vec<CandidatePair> = scored.iter().map(|&(pair, _)| pair).collect();
+        candidates.push(incumbent);
+        let mut seen = vec![self.pair];
+        candidates.retain(|pair| {
+            let fresh = !seen.contains(pair);
+            seen.push(*pair);
+            fresh
+        });
+        candidates
+    }
+}
+
 /// The SHIFT scheduler: owns the confidence graph, the normalized
 /// energy/latency traits and the per-model momentum buffers.
 #[derive(Debug, Clone)]

@@ -19,7 +19,10 @@
 //! table and the `fleet` multi-stream scaling experiment (collectively
 //! `ablations`), `stress` — the generated-scenario difficulty-grid sweep
 //! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot —
-//! and `bench` — the perf-regression micro suite, which writes
+//! `chaos` — the fault-plan × scenario resilience grid, which writes
+//! `CHAOS_resilience.csv` (and, when the same invocation ran `stress`, folds
+//! its wall time into `BENCH_stress.json`) — and `bench` — the
+//! perf-regression micro suite, which writes
 //! `BENCH_micro.json` (when the same invocation also ran `stress`, as in
 //! `repro -- stress bench`, the fresh stress timings are folded in).
 //!
@@ -31,15 +34,16 @@
 //!
 //! `--quick` uses the reduced dataset and scaled-down scenarios (useful for
 //! smoke tests); `--smoke` additionally shrinks the stress sweep to one
-//! scenario per workload class (<= 8 scenarios) and the bench suite to its
-//! CI sizing, and implies `--quick`; `--seed N` changes the simulation seed;
+//! scenario per workload class (<= 8 scenarios), the chaos grid to 18 cells
+//! and the bench suite to its CI sizing, and implies `--quick`; `--seed N`
+//! changes the simulation seed;
 //! `--jobs N` sets the parallel experiment executor's worker count (default:
 //! available parallelism — artifacts are byte-identical for any value).
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress, table1,
-    table3, table4,
+    ablations, chaos, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress,
+    table1, table3, table4,
 };
 use std::process::ExitCode;
 
@@ -56,7 +60,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 17] = [
+const ARTIFACTS: [&str; 18] = [
     "table1",
     "table3",
     "table4",
@@ -73,6 +77,7 @@ const ARTIFACTS: [&str; 17] = [
     "extended",
     "fleet",
     "stress",
+    "chaos",
     "bench",
 ];
 
@@ -99,9 +104,15 @@ fn run_bench_compare(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 match value.parse::<f64>() {
-                    Ok(v) if v >= 0.0 && v.is_finite() => threshold = v,
+                    Ok(v) if v > 0.0 && v.is_finite() => threshold = v,
                     _ => {
-                        eprintln!("invalid threshold `{value}`");
+                        // A zero threshold degenerates the ±band to exact
+                        // equality and a negative one rejects everything;
+                        // neither is a meaningful gate.
+                        eprintln!(
+                            "invalid threshold `{value}`: must be a positive finite \
+                             fraction (e.g. 0.5 for ±50%)"
+                        );
                         return ExitCode::FAILURE;
                     }
                 }
@@ -288,6 +299,37 @@ fn main() -> ExitCode {
                     Err(err) => Err(err),
                 }
             }
+            "chaos" => {
+                let options = if smoke {
+                    chaos::ChaosOptions::smoke()
+                } else {
+                    chaos::ChaosOptions::full()
+                };
+                match chaos::artifact(&ctx, &options) {
+                    Ok(artifact) => {
+                        if let Err(err) = write_atomic("CHAOS_resilience.csv", &artifact.csv) {
+                            eprintln!("failed to write CHAOS_resilience.csv: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("# wrote CHAOS_resilience.csv");
+                        // Fold the chaos wall time into the stress timing
+                        // snapshot only when *this invocation* produced it
+                        // (`repro -- stress chaos`) — the same provenance
+                        // rule the bench artifact applies.
+                        if let Some(json) = stress_json.take() {
+                            let folded = chaos::fold_into_stress(&json, artifact.chaos_wall_s);
+                            if let Err(err) = write_atomic("BENCH_stress.json", &folded) {
+                                eprintln!("failed to update BENCH_stress.json: {err}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("# folded chaos timing into BENCH_stress.json");
+                            stress_json = Some(folded);
+                        }
+                        Ok(artifact.table)
+                    }
+                    Err(err) => Err(err),
+                }
+            }
             "bench" => {
                 let options = if smoke {
                     shift_bench::suite::SuiteOptions::smoke()
@@ -367,7 +409,8 @@ fn print_help() {
         ARTIFACTS.join(" | ")
     );
     eprintln!(
-        "--smoke implies --quick, shrinks `stress` to <= 8 scenarios and `bench` to CI sizing"
+        "--smoke implies --quick, shrinks `stress` to <= 8 scenarios, `chaos` to an 18-cell \
+         grid and `bench` to CI sizing"
     );
     eprintln!("--jobs N runs sweeps on N workers (artifacts stay byte-identical for any N)");
 }

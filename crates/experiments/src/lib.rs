@@ -27,7 +27,12 @@
 //! accuracy-goal attainment as contention grows. [`stress`] leaves the six
 //! fixed videos behind altogether: it sweeps SHIFT and the baselines over a
 //! procedurally generated difficulty grid (`shift_video::generator`) and
-//! soaks the fleet runtime with a generated mixed workload.
+//! soaks the fleet runtime with a generated mixed workload. [`chaos`] breaks
+//! the healthy-platform assumption underneath all of them: it replays SHIFT
+//! and the baselines over a deterministic fault-plan × scenario grid
+//! (`shift_soc::fault` — accelerator dropouts, DVFS clamps, memory squeezes,
+//! telemetry glitches) and reduces each run to a resilience row splitting
+//! goal attainment by fault activity.
 //!
 //! All of those sweeps fan out on [`executor`], the deterministic parallel
 //! experiment executor: a work-stealing worker pool whose index-ordered
@@ -48,6 +53,7 @@
 //! ```
 
 pub mod ablations;
+pub mod chaos;
 pub mod executor;
 pub mod extended;
 pub mod fig1;

@@ -15,7 +15,10 @@
 //! joules per stream and per-stream accuracy-goal attainment. For generated
 //! workload sweeps, [`ScenarioRow`] and [`ScenarioBreakdown`] reduce each
 //! (scenario, method) run to a stable CSV row and roll the sweep up per
-//! workload class.
+//! workload class. For fault-injected (chaos) runs, [`ResilienceRow`] and
+//! [`ResilienceBreakdown`] split every metric by fault activity — goal
+//! attainment inside vs outside fault windows, degraded-frame fraction and
+//! recovery latency in frames.
 //!
 //! ```
 //! use shift_metrics::{FrameRecord, RunSummary};
@@ -37,6 +40,7 @@ pub mod export;
 pub mod fleet;
 pub mod record;
 pub mod report;
+pub mod resilience;
 pub mod stats;
 pub mod summary;
 pub mod timeline;
@@ -53,6 +57,9 @@ pub use export::{
 pub use fleet::{FleetSummary, StreamSummary, FLEET_CSV_HEADER, STREAM_CSV_HEADER};
 pub use record::FrameRecord;
 pub use report::Table;
+pub use resilience::{
+    ResilienceAggregate, ResilienceBreakdown, ResilienceRow, RESILIENCE_CSV_HEADER,
+};
 pub use stats::{mean, pearson_correlation, percentile, std_dev};
 pub use summary::RunSummary;
 pub use timeline::Timeline;

@@ -1,0 +1,547 @@
+//! Resilience aggregation for fault-injected (chaos) runs.
+//!
+//! The chaos sweep (`repro -- chaos`) replays several methodologies over a
+//! fault-plan × scenario grid. A healthy-run summary cannot answer the
+//! questions that matter there — *did the method keep its accuracy goal
+//! while the platform degraded, and how fast did it come back?* — so this
+//! module reduces each (plan, scenario, method) run to one stable
+//! [`ResilienceRow`] splitting every metric by fault activity:
+//!
+//! * mean IoU and goal attainment **inside** vs **outside** fault windows,
+//! * the **degraded-frame fraction** (fault-window frames that missed, i.e.
+//!   IoU < 0.5),
+//! * **recovery latency**: for every recovery edge, the number of frames
+//!   until the first successful detection afterwards (censored at the end of
+//!   the run when the method never recovers).
+//!
+//! Rows serialize to CSV with full round-trip float precision, so golden
+//! tests lock the whole chaos artifact byte-for-byte — the same contract the
+//! stress and fleet summaries honour. Fault activity is supplied as a
+//! per-frame flag vector (a pure function of the fault plan), keeping this
+//! crate independent of the SoC substrate that defines the faults.
+
+use crate::export::{csv_escape, number};
+use crate::record::FrameRecord;
+use crate::stats::mean;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`ResilienceRow::csv_row`].
+pub const RESILIENCE_CSV_HEADER: &str = "plan,scenario,method,accuracy_goal,frames,fault_frames,\
+mean_iou,iou_in_fault,iou_outside_fault,success_in_fault,success_outside_fault,\
+degraded_fault_fraction,recoveries,mean_recovery_frames,mean_energy_j,model_swaps,\
+goal_met_in_fault,goal_met_outside_fault";
+
+/// One (fault plan, scenario, method) run of a chaos sweep, reduced to the
+/// columns the resilience artifact reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRow {
+    /// Fault-plan label (e.g. `"healthy"`, `"dropout"`).
+    pub plan: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Methodology label (e.g. `"SHIFT"`, `"Marlin"`).
+    pub method: String,
+    /// The accuracy goal the run was held to.
+    pub accuracy_goal: f64,
+    /// Number of frames processed.
+    pub frames: usize,
+    /// Frames that executed while at least one fault was active.
+    pub fault_frames: usize,
+    /// Mean IoU over the whole run.
+    pub mean_iou: f64,
+    /// Mean IoU over fault-window frames (0 when the run saw no faults).
+    pub iou_in_fault: f64,
+    /// Mean IoU over healthy frames.
+    pub iou_outside_fault: f64,
+    /// Success rate (IoU >= 0.5) over fault-window frames.
+    pub success_in_fault: f64,
+    /// Success rate over healthy frames.
+    pub success_outside_fault: f64,
+    /// Fraction of fault-window frames that missed (IoU < 0.5).
+    pub degraded_fault_fraction: f64,
+    /// Recovery edges that landed within the run.
+    pub recoveries: usize,
+    /// Mean frames from a recovery edge to the next successful detection
+    /// (censored at the run length when the method never recovered).
+    pub mean_recovery_frames: f64,
+    /// Mean energy per frame, joules.
+    pub mean_energy_j: f64,
+    /// Number of model/accelerator swaps.
+    pub model_swaps: u64,
+    /// Whether `iou_in_fault` met the goal (vacuously `true` with no fault
+    /// frames: a plan that never faulted cannot fail its fault-window goal).
+    pub goal_met_in_fault: bool,
+    /// Whether `iou_outside_fault` met the goal (vacuously `true` when every
+    /// frame ran under a fault — mirroring `goal_met_in_fault`).
+    pub goal_met_outside_fault: bool,
+}
+
+impl ResilienceRow {
+    /// Reduces one run to a row. `fault_flags[i]` says whether a fault was
+    /// active while `records[i]` executed; `recovery_edges` are the frame
+    /// indices at which a fault cleared (only edges `< records.len()` are
+    /// counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fault_flags` and `records` differ in length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_records(
+        plan: impl Into<String>,
+        scenario: impl Into<String>,
+        method: impl Into<String>,
+        accuracy_goal: f64,
+        records: &[FrameRecord],
+        fault_flags: &[bool],
+        recovery_edges: &[usize],
+    ) -> Self {
+        assert_eq!(
+            records.len(),
+            fault_flags.len(),
+            "one fault flag per record"
+        );
+        let n = records.len();
+        let in_fault: Vec<f64> = records
+            .iter()
+            .zip(fault_flags)
+            .filter(|(_, &flagged)| flagged)
+            .map(|(r, _)| r.iou)
+            .collect();
+        let outside: Vec<f64> = records
+            .iter()
+            .zip(fault_flags)
+            .filter(|(_, &flagged)| !flagged)
+            .map(|(r, _)| r.iou)
+            .collect();
+        let success_rate = |ious: &[f64]| {
+            if ious.is_empty() {
+                0.0
+            } else {
+                ious.iter().filter(|&&iou| iou >= 0.5).count() as f64 / ious.len() as f64
+            }
+        };
+        let edges: Vec<usize> = recovery_edges.iter().copied().filter(|&e| e < n).collect();
+        let recovery_latencies: Vec<f64> = edges
+            .iter()
+            .map(|&edge| {
+                records[edge..]
+                    .iter()
+                    .position(|r| r.is_success())
+                    .unwrap_or(n - edge) as f64
+            })
+            .collect();
+        let iou_in_fault = mean(&in_fault);
+        let iou_outside_fault = mean(&outside);
+        let total_energy: f64 = records.iter().map(|r| r.energy_j).sum();
+        Self {
+            plan: plan.into(),
+            scenario: scenario.into(),
+            method: method.into(),
+            accuracy_goal,
+            frames: n,
+            fault_frames: in_fault.len(),
+            mean_iou: if n == 0 {
+                0.0
+            } else {
+                records.iter().map(|r| r.iou).sum::<f64>() / n as f64
+            },
+            iou_in_fault,
+            iou_outside_fault,
+            success_in_fault: success_rate(&in_fault),
+            success_outside_fault: success_rate(&outside),
+            degraded_fault_fraction: if in_fault.is_empty() {
+                0.0
+            } else {
+                in_fault.iter().filter(|&&iou| iou < 0.5).count() as f64 / in_fault.len() as f64
+            },
+            recoveries: edges.len(),
+            mean_recovery_frames: mean(&recovery_latencies),
+            mean_energy_j: if n == 0 { 0.0 } else { total_energy / n as f64 },
+            model_swaps: records.iter().filter(|r| r.swapped).count() as u64,
+            goal_met_in_fault: in_fault.is_empty() || iou_in_fault >= accuracy_goal,
+            goal_met_outside_fault: outside.is_empty() || iou_outside_fault >= accuracy_goal,
+        }
+    }
+
+    /// Renders the row as one CSV line matching [`RESILIENCE_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_escape(&self.plan),
+            csv_escape(&self.scenario),
+            csv_escape(&self.method),
+            number(self.accuracy_goal),
+            self.frames,
+            self.fault_frames,
+            number(self.mean_iou),
+            number(self.iou_in_fault),
+            number(self.iou_outside_fault),
+            number(self.success_in_fault),
+            number(self.success_outside_fault),
+            number(self.degraded_fault_fraction),
+            self.recoveries,
+            number(self.mean_recovery_frames),
+            number(self.mean_energy_j),
+            self.model_swaps,
+            self.goal_met_in_fault,
+            self.goal_met_outside_fault
+        );
+        out
+    }
+}
+
+/// Per-(plan, method) roll-up of a [`ResilienceBreakdown`]. Fault-frame
+/// metrics are weighted by fault frames, healthy metrics by healthy frames,
+/// recovery latency by recovery-edge count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceAggregate {
+    /// Fault-plan label.
+    pub plan: String,
+    /// Methodology label.
+    pub method: String,
+    /// Number of scenario runs aggregated.
+    pub scenarios: usize,
+    /// Total frames across the runs.
+    pub frames: usize,
+    /// Total fault-window frames across the runs.
+    pub fault_frames: usize,
+    /// Fault-frame-weighted mean IoU inside fault windows.
+    pub iou_in_fault: f64,
+    /// Healthy-frame-weighted mean IoU outside fault windows.
+    pub iou_outside_fault: f64,
+    /// Fault-frame-weighted degraded fraction.
+    pub degraded_fault_fraction: f64,
+    /// Recovery edges across the runs.
+    pub recoveries: usize,
+    /// Recovery-weighted mean recovery latency, frames.
+    pub mean_recovery_frames: f64,
+    /// Aggregate energy per frame, joules.
+    pub mean_energy_j: f64,
+    /// Runs whose fault-window IoU met their goal.
+    pub goals_met_in_fault: usize,
+    /// Runs whose healthy IoU met their goal.
+    pub goals_met_outside_fault: usize,
+}
+
+/// The collected rows of one chaos sweep.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceBreakdown {
+    rows: Vec<ResilienceRow>,
+}
+
+impl ResilienceBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one run's row.
+    pub fn push(&mut self, row: ResilienceRow) {
+        self.rows.push(row);
+    }
+
+    /// The rows, in insertion order.
+    pub fn rows(&self) -> &[ResilienceRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the breakdown holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the breakdown as CSV (header + one line per row, in insertion
+    /// order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(RESILIENCE_CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fault-window goal attainment of one method: `(runs meeting their
+    /// goal inside fault windows, total runs)` over rows with that label.
+    pub fn fault_goal_attainment(&self, method: &str) -> (usize, usize) {
+        let rows = self.rows.iter().filter(|r| r.method == method);
+        let (mut met, mut total) = (0, 0);
+        for row in rows {
+            total += 1;
+            if row.goal_met_in_fault {
+                met += 1;
+            }
+        }
+        (met, total)
+    }
+
+    /// Rolls the rows up per (plan, method), preserving first-appearance
+    /// order — the shape the chaos table prints.
+    pub fn aggregate_by_plan(&self) -> Vec<ResilienceAggregate> {
+        let mut order: Vec<(String, String)> = Vec::new();
+        for row in &self.rows {
+            let key = (row.plan.clone(), row.method.clone());
+            if !order.contains(&key) {
+                order.push(key);
+            }
+        }
+        order
+            .into_iter()
+            .map(|(plan, method)| {
+                let group: Vec<&ResilienceRow> = self
+                    .rows
+                    .iter()
+                    .filter(|r| r.plan == plan && r.method == method)
+                    .collect();
+                let frames: usize = group.iter().map(|r| r.frames).sum();
+                let fault_frames: usize = group.iter().map(|r| r.fault_frames).sum();
+                let healthy_frames = frames - fault_frames;
+                let recoveries: usize = group.iter().map(|r| r.recoveries).sum();
+                let fault_weighted = |f: fn(&ResilienceRow) -> f64| -> f64 {
+                    if fault_frames == 0 {
+                        0.0
+                    } else {
+                        group
+                            .iter()
+                            .map(|r| f(r) * r.fault_frames as f64)
+                            .sum::<f64>()
+                            / fault_frames as f64
+                    }
+                };
+                ResilienceAggregate {
+                    scenarios: group.len(),
+                    frames,
+                    fault_frames,
+                    iou_in_fault: fault_weighted(|r| r.iou_in_fault),
+                    iou_outside_fault: if healthy_frames == 0 {
+                        0.0
+                    } else {
+                        group
+                            .iter()
+                            .map(|r| r.iou_outside_fault * (r.frames - r.fault_frames) as f64)
+                            .sum::<f64>()
+                            / healthy_frames as f64
+                    },
+                    degraded_fault_fraction: fault_weighted(|r| r.degraded_fault_fraction),
+                    recoveries,
+                    mean_recovery_frames: if recoveries == 0 {
+                        0.0
+                    } else {
+                        group
+                            .iter()
+                            .map(|r| r.mean_recovery_frames * r.recoveries as f64)
+                            .sum::<f64>()
+                            / recoveries as f64
+                    },
+                    mean_energy_j: if frames == 0 {
+                        0.0
+                    } else {
+                        group
+                            .iter()
+                            .map(|r| r.mean_energy_j * r.frames as f64)
+                            .sum::<f64>()
+                            / frames as f64
+                    },
+                    goals_met_in_fault: group.iter().filter(|r| r.goal_met_in_fault).count(),
+                    goals_met_outside_fault: group
+                        .iter()
+                        .filter(|r| r.goal_met_outside_fault)
+                        .count(),
+                    plan,
+                    method,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_models::ModelId;
+    use shift_soc::AcceleratorId;
+
+    fn record(index: usize, iou: f64, swapped: bool) -> FrameRecord {
+        FrameRecord::new(
+            index,
+            ModelId::YoloV7,
+            AcceleratorId::Gpu,
+            iou,
+            0.1,
+            1.0,
+            swapped,
+        )
+    }
+
+    #[test]
+    fn row_splits_metrics_by_fault_activity() {
+        // Frames 2..5 run under a fault; the method misses on 2 and 3 and
+        // recovers on 5 (one frame after the recovery edge at 5? edge at 5
+        // means frame 5 is healthy again).
+        let records = vec![
+            record(0, 0.8, false),
+            record(1, 0.8, false),
+            record(2, 0.1, true),
+            record(3, 0.2, false),
+            record(4, 0.6, false),
+            record(5, 0.7, false),
+        ];
+        let flags = vec![false, false, true, true, true, false];
+        let row =
+            ResilienceRow::from_records("dropout", "scn-1", "SHIFT", 0.4, &records, &flags, &[5]);
+        assert_eq!(row.frames, 6);
+        assert_eq!(row.fault_frames, 3);
+        assert!((row.iou_in_fault - 0.3).abs() < 1e-12);
+        assert!((row.iou_outside_fault - (0.8 + 0.8 + 0.7) / 3.0).abs() < 1e-12);
+        assert!((row.degraded_fault_fraction - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(row.recoveries, 1);
+        assert_eq!(row.mean_recovery_frames, 0.0, "frame 5 succeeds at once");
+        assert!(!row.goal_met_in_fault, "0.3 misses the 0.4 goal");
+        assert!(row.goal_met_outside_fault);
+        assert_eq!(row.model_swaps, 1);
+    }
+
+    #[test]
+    fn recovery_latency_is_counted_and_censored() {
+        // Edge at 2: first success at 4 -> latency 2. Edge at 5: no success
+        // afterwards -> censored at frames - edge = 1.
+        let records = vec![
+            record(0, 0.8, false),
+            record(1, 0.1, false),
+            record(2, 0.1, false),
+            record(3, 0.2, false),
+            record(4, 0.9, false),
+            record(5, 0.1, false),
+        ];
+        let flags = vec![false, true, false, false, false, true];
+        let row = ResilienceRow::from_records(
+            "mixed",
+            "scn-2",
+            "Marlin",
+            0.25,
+            &records,
+            &flags,
+            &[2, 5, 99],
+        );
+        assert_eq!(row.recoveries, 2, "edges past the run are ignored");
+        assert!((row.mean_recovery_frames - (2.0 + 1.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn healthy_run_has_vacuous_fault_goal() {
+        let records = vec![record(0, 0.9, false), record(1, 0.9, false)];
+        let row = ResilienceRow::from_records(
+            "healthy",
+            "scn-1",
+            "SHIFT",
+            0.4,
+            &records,
+            &[false, false],
+            &[],
+        );
+        assert_eq!(row.fault_frames, 0);
+        assert_eq!(row.iou_in_fault, 0.0);
+        assert!(
+            row.goal_met_in_fault,
+            "no fault frames cannot fail the goal"
+        );
+        assert!(row.goal_met_outside_fault);
+        assert_eq!(row.degraded_fault_fraction, 0.0);
+    }
+
+    #[test]
+    fn fully_faulted_run_has_vacuous_healthy_goal() {
+        // The mirror of the healthy-run case: every frame ran under a fault,
+        // so there are no healthy frames to judge.
+        let records = vec![record(0, 0.1, false), record(1, 0.2, false)];
+        let row = ResilienceRow::from_records(
+            "storm",
+            "scn-1",
+            "SHIFT",
+            0.4,
+            &records,
+            &[true, true],
+            &[],
+        );
+        assert_eq!(row.fault_frames, 2);
+        assert!(!row.goal_met_in_fault, "0.15 misses the 0.4 goal");
+        assert!(
+            row.goal_met_outside_fault,
+            "no healthy frames cannot fail the goal"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one fault flag per record")]
+    fn mismatched_flags_panic() {
+        let _ = ResilienceRow::from_records(
+            "p",
+            "s",
+            "m",
+            0.3,
+            &[record(0, 0.5, false)],
+            &[true, false],
+            &[],
+        );
+    }
+
+    #[test]
+    fn csv_matches_header_and_is_deterministic() {
+        let records = vec![record(0, 0.8, false), record(1, 0.2, true)];
+        let row = ResilienceRow::from_records(
+            "dropout",
+            "scn,1",
+            "SHIFT",
+            0.3,
+            &records,
+            &[false, true],
+            &[1],
+        );
+        assert_eq!(
+            row.csv_row().split(',').count(),
+            RESILIENCE_CSV_HEADER.split(',').count() + 1,
+            "the quoted scenario label carries the extra comma"
+        );
+        assert_eq!(row.csv_row(), row.csv_row());
+        assert!(row.csv_row().contains("\"scn,1\""));
+        let mut breakdown = ResilienceBreakdown::new();
+        breakdown.push(row);
+        let csv = breakdown.to_csv();
+        assert!(csv.starts_with(RESILIENCE_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn aggregation_weights_by_fault_frames_and_recoveries() {
+        let run = |iou_fault: f64, fault_n: usize, total: usize| {
+            let records: Vec<FrameRecord> = (0..total)
+                .map(|i| record(i, if i < fault_n { iou_fault } else { 0.9 }, false))
+                .collect();
+            let flags: Vec<bool> = (0..total).map(|i| i < fault_n).collect();
+            ResilienceRow::from_records("mixed", "s", "SHIFT", 0.3, &records, &flags, &[fault_n])
+        };
+        let mut breakdown = ResilienceBreakdown::new();
+        breakdown.push(run(0.1, 2, 10));
+        breakdown.push(run(0.4, 6, 10));
+        let aggregates = breakdown.aggregate_by_plan();
+        assert_eq!(aggregates.len(), 1);
+        let a = &aggregates[0];
+        assert_eq!(a.scenarios, 2);
+        assert_eq!(a.fault_frames, 8);
+        let expected = (0.1 * 2.0 + 0.4 * 6.0) / 8.0;
+        assert!((a.iou_in_fault - expected).abs() < 1e-12);
+        assert_eq!(a.recoveries, 2);
+        assert_eq!(a.goals_met_in_fault, 1, "0.1 misses, 0.4 meets");
+        assert_eq!(breakdown.fault_goal_attainment("SHIFT"), (1, 2));
+        assert_eq!(breakdown.fault_goal_attainment("nope"), (0, 0));
+    }
+}

@@ -66,6 +66,9 @@ pub struct ExecutionEngine {
     thermal: Option<ThermalModel>,
     /// Accelerators administratively or thermally taken offline.
     offline: BTreeSet<AcceleratorId>,
+    /// When `true`, telemetry recording is suspended (a fault-injected
+    /// telemetry glitch: work still executes, its samples are lost).
+    telemetry_suspended: bool,
 }
 
 impl ExecutionEngine {
@@ -87,6 +90,7 @@ impl ExecutionEngine {
             power_mode: PowerMode::default(),
             thermal: None,
             offline: BTreeSet::new(),
+            telemetry_suspended: false,
         }
     }
 
@@ -137,6 +141,15 @@ impl ExecutionEngine {
                 .unwrap_or(false)
     }
 
+    /// Whether `accelerator` is administratively fenced off (the flag
+    /// [`set_accelerator_online`](Self::set_accelerator_online) toggles),
+    /// independent of any thermal trip. Fault-injection recovery restores
+    /// exactly this flag, so a transient thermal trip observed mid-fault is
+    /// never converted into a permanent fence.
+    pub fn is_administratively_offline(&self, accelerator: AcceleratorId) -> bool {
+        self.offline.contains(&accelerator)
+    }
+
     /// Administratively takes `accelerator` offline (`online = false`) or
     /// returns it to service. Used by failure-injection experiments.
     pub fn set_accelerator_online(&mut self, accelerator: AcceleratorId, online: bool) {
@@ -170,6 +183,51 @@ impl ExecutionEngine {
     /// Resets telemetry to zero (memory pools are left untouched).
     pub fn reset_telemetry(&mut self) {
         self.telemetry = Telemetry::new();
+    }
+
+    /// Suspends (or resumes) telemetry recording. While suspended, work
+    /// still executes and is charged to the caller normally, but the
+    /// engine-level counters record nothing — the model of a telemetry
+    /// glitch injected by the fault subsystem.
+    pub fn set_telemetry_suspended(&mut self, suspended: bool) {
+        self.telemetry_suspended = suspended;
+    }
+
+    /// Whether telemetry recording is currently suspended.
+    pub fn telemetry_suspended(&self) -> bool {
+        self.telemetry_suspended
+    }
+
+    /// Withholds `reserved_mb` of `accelerator`'s memory pool from new
+    /// allocations (a fault-injected capacity squeeze). Resident models are
+    /// never evicted by the reservation itself; a loader that cannot fit a
+    /// model into the squeezed pool sees [`SocError::OutOfMemory`] and is
+    /// expected to degrade. Pass `0.0` to lift the squeeze.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocError::UnknownAccelerator`] when the accelerator is not
+    /// part of the platform.
+    pub fn set_memory_reservation(
+        &mut self,
+        accelerator: AcceleratorId,
+        reserved_mb: f64,
+    ) -> Result<(), SocError> {
+        let pool = self
+            .pools
+            .get_mut(&accelerator)
+            .ok_or(SocError::UnknownAccelerator(accelerator))?;
+        pool.set_reserved_mb(reserved_mb);
+        Ok(())
+    }
+
+    /// The memory currently reserved away from `accelerator`'s pool, MB
+    /// (0 for unknown accelerators).
+    pub fn memory_reservation(&self, accelerator: AcceleratorId) -> f64 {
+        self.pools
+            .get(&accelerator)
+            .map(|p| p.reserved_mb())
+            .unwrap_or(0.0)
     }
 
     /// The memory pool of `accelerator`.
@@ -262,8 +320,10 @@ impl ExecutionEngine {
         let target = accelerator.target();
         let load_time = spec.load.load_time_s(target);
         let load_energy = spec.load.load_energy_j(target);
-        self.telemetry
-            .record_load(accelerator, load_time, load_energy);
+        if !self.telemetry_suspended {
+            self.telemetry
+                .record_load(accelerator, load_time, load_energy);
+        }
         Ok(LoadReport {
             model,
             accelerator,
@@ -278,7 +338,9 @@ impl ExecutionEngine {
     pub fn unload_model(&mut self, model: ModelId, accelerator: AcceleratorId) -> bool {
         if let Some(pool) = self.pools.get_mut(&accelerator) {
             if pool.release(model).is_some() {
-                self.telemetry.record_eviction();
+                if !self.telemetry_suspended {
+                    self.telemetry.record_eviction();
+                }
                 return true;
             }
         }
@@ -306,8 +368,10 @@ impl ExecutionEngine {
             return Err(SocError::ModelNotLoaded { model, accelerator });
         }
         let report = self.probe_inference(model, accelerator, frame)?;
-        self.telemetry
-            .record_inference(accelerator, report.latency_s, report.energy_j);
+        if !self.telemetry_suspended {
+            self.telemetry
+                .record_inference(accelerator, report.latency_s, report.energy_j);
+        }
         if let Some(thermal) = self.thermal.as_mut() {
             thermal.record_activity(accelerator, report.power_w, report.latency_s);
         }
@@ -665,6 +729,58 @@ mod tests {
         assert!(!e.is_online(AcceleratorId::Gpu));
         // Other engines are unaffected.
         assert!(e.is_online(AcceleratorId::Dla0));
+    }
+
+    #[test]
+    fn memory_reservation_squeezes_loads_until_lifted() {
+        let mut e = engine();
+        // Reserve most of the GPU pool (1536 MB): YoloV7 (280 MB) no longer
+        // fits, but lifting the squeeze restores it.
+        e.set_memory_reservation(AcceleratorId::Gpu, 1400.0)
+            .unwrap();
+        assert_eq!(e.memory_reservation(AcceleratorId::Gpu), 1400.0);
+        let err = e
+            .load_model(ModelId::YoloV7, AcceleratorId::Gpu)
+            .unwrap_err();
+        assert!(matches!(err, SocError::OutOfMemory { .. }));
+        e.set_memory_reservation(AcceleratorId::Gpu, 0.0).unwrap();
+        assert!(e.load_model(ModelId::YoloV7, AcceleratorId::Gpu).is_ok());
+    }
+
+    #[test]
+    fn memory_reservation_on_unknown_accelerator_errors() {
+        let mut e = ExecutionEngine::new(
+            Platform::gpu_only(),
+            ModelZoo::standard(),
+            ResponseModel::new(1),
+        );
+        let err = e
+            .set_memory_reservation(AcceleratorId::Dla0, 10.0)
+            .unwrap_err();
+        assert!(matches!(err, SocError::UnknownAccelerator(_)));
+        assert_eq!(e.memory_reservation(AcceleratorId::Dla0), 0.0);
+    }
+
+    #[test]
+    fn suspended_telemetry_loses_samples_but_work_still_runs() {
+        let mut e = engine();
+        e.set_telemetry_suspended(true);
+        assert!(e.telemetry_suspended());
+        let (load, report) = e
+            .load_and_run(ModelId::YoloV7Tiny, AcceleratorId::Gpu, &frame())
+            .unwrap();
+        // The work happened and was charged to the caller...
+        assert!(!load.already_loaded);
+        assert!(report.latency_s > 0.0);
+        // ...but the glitched telemetry recorded none of it.
+        assert_eq!(e.telemetry().inference_count, 0);
+        assert_eq!(e.telemetry().load_count, 0);
+        assert!(e.unload_model(ModelId::YoloV7Tiny, AcceleratorId::Gpu));
+        assert_eq!(e.telemetry().eviction_count, 0);
+        e.set_telemetry_suspended(false);
+        e.load_and_run(ModelId::YoloV7Tiny, AcceleratorId::Gpu, &frame())
+            .unwrap();
+        assert_eq!(e.telemetry().inference_count, 1);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod accelerator;
 pub mod arbiter;
 pub mod dvfs;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod network;
 pub mod occupancy;
@@ -48,6 +49,9 @@ pub use accelerator::{AcceleratorId, AcceleratorSpec};
 pub use arbiter::MemoryArbiter;
 pub use dvfs::PowerMode;
 pub use engine::{ExecutionEngine, InferenceReport, LoadReport};
+pub use fault::{
+    FaultEdge, FaultInjector, FaultKind, FaultPlan, FaultResource, FaultSpec, FaultWindow,
+};
 pub use memory::MemoryPool;
 pub use network::{NetworkLink, TransferReport};
 pub use occupancy::{OccupancyTracker, Reservation};

@@ -24,6 +24,11 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MemoryPool {
     capacity_mb: f64,
+    /// Capacity temporarily withheld from new allocations (fault injection:
+    /// a co-tenant or firmware reservation squeezing the shared pool).
+    /// Already-resident models are unaffected; only new allocations see the
+    /// reduced effective capacity.
+    reserved_mb: f64,
     allocations: BTreeMap<ModelId, f64>,
 }
 
@@ -32,6 +37,7 @@ impl MemoryPool {
     pub fn new(capacity_mb: f64) -> Self {
         Self {
             capacity_mb: capacity_mb.max(0.0),
+            reserved_mb: 0.0,
             allocations: BTreeMap::new(),
         }
     }
@@ -41,6 +47,24 @@ impl MemoryPool {
         self.capacity_mb
     }
 
+    /// Capacity currently withheld from new allocations, MB.
+    pub fn reserved_mb(&self) -> f64 {
+        self.reserved_mb
+    }
+
+    /// Withholds `reserved_mb` of the pool from new allocations (clamped to
+    /// `[0, capacity]`). Resident models are never evicted by a reservation —
+    /// a squeezed pool can run over its effective capacity until the loader
+    /// evicts on its own.
+    pub fn set_reserved_mb(&mut self, reserved_mb: f64) {
+        self.reserved_mb = reserved_mb.clamp(0.0, self.capacity_mb);
+    }
+
+    /// Capacity available to new allocations: total minus the reservation.
+    pub fn effective_capacity_mb(&self) -> f64 {
+        (self.capacity_mb - self.reserved_mb).max(0.0)
+    }
+
     /// Memory currently used by resident models, MB.
     pub fn used_mb(&self) -> f64 {
         self.allocations.values().sum()
@@ -48,7 +72,7 @@ impl MemoryPool {
 
     /// Memory still available, MB.
     pub fn free_mb(&self) -> f64 {
-        (self.capacity_mb - self.used_mb()).max(0.0)
+        (self.effective_capacity_mb() - self.used_mb()).max(0.0)
     }
 
     /// Whether `model` is currently resident.
@@ -62,9 +86,9 @@ impl MemoryPool {
     }
 
     /// Whether an allocation of `size_mb` could ever fit (i.e. does not
-    /// exceed the total capacity).
+    /// exceed the capacity left after any reservation).
     pub fn can_ever_fit(&self, size_mb: f64) -> bool {
-        size_mb <= self.capacity_mb + 1e-9
+        size_mb <= self.effective_capacity_mb() + 1e-9
     }
 
     /// Attempts to allocate `size_mb` for `model`. Returns `false` (and
@@ -160,5 +184,31 @@ mod tests {
     fn negative_sizes_are_rejected() {
         let mut pool = MemoryPool::new(100.0);
         assert!(!pool.try_allocate(ModelId::YoloV7Tiny, -5.0));
+    }
+
+    #[test]
+    fn reservation_squeezes_new_allocations_but_not_residents() {
+        let mut pool = MemoryPool::new(500.0);
+        assert!(pool.try_allocate(ModelId::YoloV7, 280.0));
+        pool.set_reserved_mb(400.0);
+        assert_eq!(pool.effective_capacity_mb(), 100.0);
+        // The resident model stays; new allocations are refused.
+        assert!(pool.contains(ModelId::YoloV7));
+        assert!(!pool.try_allocate(ModelId::YoloV7Tiny, 60.0));
+        assert!(!pool.can_ever_fit(280.0));
+        assert_eq!(pool.free_mb(), 0.0);
+        // Clearing the reservation restores the pool.
+        pool.set_reserved_mb(0.0);
+        assert!(pool.try_allocate(ModelId::YoloV7Tiny, 60.0));
+    }
+
+    #[test]
+    fn reservation_is_clamped_to_capacity() {
+        let mut pool = MemoryPool::new(100.0);
+        pool.set_reserved_mb(1e9);
+        assert_eq!(pool.reserved_mb(), 100.0);
+        assert_eq!(pool.effective_capacity_mb(), 0.0);
+        pool.set_reserved_mb(-5.0);
+        assert_eq!(pool.reserved_mb(), 0.0);
     }
 }

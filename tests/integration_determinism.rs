@@ -161,6 +161,55 @@ fn golden_stress_summary_csv_is_byte_identical_across_runs() {
     );
 }
 
+/// Golden determinism for the chaos artifact: the fault-plan × scenario
+/// resilience CSV must be byte-identical across repeat invocations *and*
+/// across `--jobs 1/2/4/8` — the acceptance contract of the deterministic
+/// fault-injection subsystem. Each cell owns an independent engine and
+/// fault injector, so any cross-cell fault leakage or worker-dependent
+/// injector state shows up here as a diff.
+#[test]
+fn golden_chaos_resilience_csv_is_byte_identical_across_runs_and_jobs() {
+    use shift_experiments::chaos::{self, ChaosOptions};
+    let options = ChaosOptions::smoke();
+    let run = |jobs: usize| {
+        let ctx = ExperimentContext::quick(93).with_jobs(jobs);
+        chaos::summary_csv(&ctx, &options).expect("chaos summary builds")
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(1), "chaos summary CSV must not drift");
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            run(jobs),
+            sequential,
+            "chaos CSV must be byte-identical at --jobs {jobs}"
+        );
+    }
+    assert!(sequential.starts_with(shift_metrics::RESILIENCE_CSV_HEADER));
+    // One line per (plan, scenario, method) cell plus the header.
+    assert_eq!(
+        sequential.lines().count(),
+        options.plans * options.scenarios * chaos::METHODS.len() + 1,
+        "unexpected chaos summary shape"
+    );
+    // The healthy control rows record no fault exposure.
+    for line in sequential
+        .lines()
+        .skip(1)
+        .filter(|l| l.starts_with("healthy,"))
+    {
+        let fault_frames: usize = line
+            .split(',')
+            .nth(5)
+            .expect("fault_frames column")
+            .parse()
+            .expect("numeric fault_frames");
+        assert_eq!(
+            fault_frames, 0,
+            "healthy plan must not expose faults: {line}"
+        );
+    }
+}
+
 /// The parallel experiment executor must be invisible in every artifact:
 /// `--jobs 1/2/4/8` produce byte-identical stress summary CSVs and identical
 /// fleet scaling outcomes. Any worker-count-dependent behaviour anywhere in

@@ -10,7 +10,8 @@ use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
 use shift_models::{ModelId, ModelZoo, ResponseModel};
 use shift_soc::{
-    AcceleratorId, ExecutionEngine, NetworkLink, Platform, SocError, ThermalConfig, ThermalModel,
+    AcceleratorId, ExecutionEngine, FaultKind, FaultPlan, FaultSpec, FaultWindow, NetworkLink,
+    Platform, PowerMode, SocError, ThermalConfig, ThermalModel,
 };
 use shift_video::Scenario;
 
@@ -253,6 +254,16 @@ fn fleet_under_memory_pressure_degrades_but_never_starves_or_panics() {
     // The GPU pool never overcommitted while all of this happened.
     let pool = fleet.engine().pool(AcceleratorId::Gpu).unwrap();
     assert!(pool.used_mb() <= pool.capacity_mb() + 1e-9);
+    // Healthy memory contention is not fault exposure: with no fault plan
+    // attached, every resilience counter stays zero even though streams
+    // genuinely degraded under pressure.
+    for stream in 0..expected.len() {
+        assert_eq!(
+            fleet.stream_resilience(stream),
+            shift_core::ResilienceCounters::default(),
+            "stream {stream} reported fault exposure on a healthy run"
+        );
+    }
 }
 
 #[test]
@@ -317,6 +328,218 @@ fn fleet_survives_an_accelerator_going_offline_at_construction() {
     assert!(
         mean_iou > 0.2,
         "GPU-less fleet still detects, got {mean_iou}"
+    );
+}
+
+#[test]
+fn all_accelerators_throttled_fleet_terminates_with_degraded_goals_reported() {
+    // A DVFS clamp is platform-wide: for most of the run *every* accelerator
+    // is throttled into the 10 W budget at once. The fleet must still
+    // produce every frame of every stream (no panic, no starvation), report
+    // the fault exposure through its resilience counters, and the clamp must
+    // show up as degraded (slower) frames rather than missing ones.
+    let ctx = ExperimentContext::quick(71);
+    let specs = || -> Vec<StreamSpec> {
+        [Scenario::scenario_1(), Scenario::scenario_3()]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                StreamSpec::new(
+                    format!("clamped-{i}"),
+                    ctx.scaled(s.clone()),
+                    paper_shift_config(),
+                )
+            })
+            .collect()
+    };
+    let expected: usize = specs().iter().map(|s| s.scenario.num_frames()).sum();
+    // One clamp window covering nearly the whole run (the fleet clock is one
+    // step per admitted frame across all streams).
+    let horizon = expected as u64 + 10;
+    let plan = FaultPlan::from_windows(
+        horizon,
+        vec![FaultWindow {
+            kind: FaultKind::DvfsClamp(PowerMode::Mode10W),
+            start_frame: 1,
+            end_frame: horizon,
+        }],
+    );
+    let run = |plan: Option<FaultPlan>| {
+        let mut fleet = FleetRuntime::new(
+            ctx.engine(),
+            ctx.characterization(),
+            FleetConfig::round_robin(),
+            specs(),
+        )
+        .expect("fleet builds");
+        if let Some(plan) = plan {
+            fleet = fleet.with_fault_plan(plan);
+        }
+        let outcomes = fleet.run_to_completion().expect("fleet completes");
+        let fault_frames: u64 = (0..2)
+            .map(|i| fleet.stream_resilience(i).fault_frames)
+            .sum();
+        (outcomes, fault_frames)
+    };
+    let (healthy, _) = run(None);
+    let (clamped, fault_frames) = run(Some(plan));
+    assert_eq!(
+        clamped.len(),
+        expected,
+        "no stream may starve under the clamp"
+    );
+    assert!(
+        fault_frames >= expected as u64 - 2,
+        "nearly every frame ran inside the clamp window, got {fault_frames}/{expected}"
+    );
+    // Degraded, not blind: the clamp slows the platform down...
+    let total_latency = |outcomes: &[shift_core::FleetFrameOutcome]| -> f64 {
+        outcomes.iter().map(|o| o.outcome.latency_s).sum()
+    };
+    assert!(
+        total_latency(&clamped) > total_latency(&healthy),
+        "a 10 W clamp must cost latency"
+    );
+    // ...but detections still land.
+    let mean_iou = clamped.iter().map(|o| o.outcome.iou).sum::<f64>() / clamped.len() as f64;
+    assert!(
+        mean_iou > 0.2,
+        "clamped fleet went blind: mean IoU {mean_iou}"
+    );
+}
+
+#[test]
+fn dropout_landing_exactly_on_a_scene_cut_boundary_is_survived() {
+    // Scenario 6 carries mid-video background changes; place a dropout of
+    // every host accelerator so its injection edge lands exactly on a
+    // scene-cut frame — the worst case, because the NCC gate forces a
+    // re-schedule on the very frame the scheduler's favourite accelerators
+    // vanish. Only the external OAK-D survives the window.
+    let ctx = ExperimentContext::quick(72);
+    let scenario = ctx.scaled(Scenario::scenario_6());
+    let frames = scenario.num_frames();
+    let cut = scenario
+        .backgrounds()
+        .iter()
+        .map(|b| (b.start * frames as f64).round() as u64)
+        .find(|&f| f > 0 && f < frames as u64 - 8)
+        .expect("scenario 6 has a mid-video background change");
+    let end = (cut + 6).min(frames as u64);
+    let windows = [AcceleratorId::Gpu, AcceleratorId::Dla0, AcceleratorId::Dla1]
+        .map(|accelerator| FaultWindow {
+            kind: FaultKind::Dropout(accelerator),
+            start_frame: cut,
+            end_frame: end,
+        })
+        .to_vec();
+    let plan = FaultPlan::from_windows(frames as u64, windows);
+    let mut runtime = ShiftRuntime::new(ctx.engine(), ctx.characterization(), paper_shift_config())
+        .expect("runtime builds")
+        .with_fault_plan(plan);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    assert_eq!(outcomes.len(), frames);
+    // Every frame of the outage — including the boundary frame itself —
+    // executed on the one accelerator that stayed online.
+    for outcome in &outcomes[cut as usize..end as usize] {
+        assert_eq!(
+            outcome.pair.accelerator,
+            AcceleratorId::OakD,
+            "frame {} must degrade to the surviving accelerator",
+            outcome.frame_index
+        );
+    }
+    let counters = runtime.resilience();
+    assert_eq!(counters.fault_frames, end - cut);
+    // After recovery the scheduler is free to leave the OAK-D again; the
+    // run ends with every scripted edge replayed.
+    assert!(runtime
+        .fault_injector()
+        .expect("injector attached")
+        .is_done());
+}
+
+#[test]
+fn stable_scene_dropout_forces_a_replan_and_recovery() {
+    // On a stable scene the similarity gate keeps the incumbent pair frame
+    // after frame — so when the incumbent's accelerator drops out, the
+    // runtime must *force* the full Algorithm 1 pass (the gate alone would
+    // never run it) and degrade to the one accelerator left online.
+    let ctx = ExperimentContext::quick(74);
+    let scenario = ctx.scaled(Scenario::scenario_1());
+    let frames = scenario.num_frames() as u64;
+    assert!(frames > 40, "need room for a mid-run window");
+    let (start, end) = (20u64, 32u64);
+    let windows = [AcceleratorId::Gpu, AcceleratorId::Dla0, AcceleratorId::Dla1]
+        .map(|accelerator| FaultWindow {
+            kind: FaultKind::Dropout(accelerator),
+            start_frame: start,
+            end_frame: end,
+        })
+        .to_vec();
+    let plan = FaultPlan::from_windows(frames, windows);
+    let mut runtime = ShiftRuntime::new(ctx.engine(), ctx.characterization(), paper_shift_config())
+        .expect("runtime builds")
+        .with_fault_plan(plan);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    // The hard long-range scenario keeps SHIFT on a host engine before the
+    // window (if this ever fails, the fault below could be a free move).
+    assert_ne!(
+        outcomes[start as usize - 1].pair.accelerator,
+        AcceleratorId::OakD,
+        "precondition: the incumbent sits on a host accelerator"
+    );
+    for outcome in &outcomes[start as usize..end as usize] {
+        assert_eq!(outcome.pair.accelerator, AcceleratorId::OakD);
+    }
+    let counters = runtime.resilience();
+    assert!(
+        counters.fault_replans > 0,
+        "losing the incumbent's accelerator must force a re-plan"
+    );
+    assert_eq!(counters.fault_frames, end - start);
+    // Recovery: the injector restored every accelerator (whether the
+    // scheduler migrates back is its own cost call — a confident cheap pair
+    // may legitimately keep the similarity gate closed), and the stream
+    // kept detecting across the outage.
+    for accelerator in [AcceleratorId::Gpu, AcceleratorId::Dla0, AcceleratorId::Dla1] {
+        assert!(
+            runtime.engine().is_online(accelerator),
+            "{accelerator} restored"
+        );
+    }
+    let mean_iou = outcomes.iter().map(|o| o.iou).sum::<f64>() / outcomes.len() as f64;
+    assert!(
+        mean_iou > 0.2,
+        "faulted run went blind: mean IoU {mean_iou}"
+    );
+}
+
+#[test]
+fn fault_plan_longer_than_the_video_is_harmless() {
+    // A plan laid out over 10x the video length: windows past the end are
+    // simply never reached, and the run must complete with the injector
+    // still holding unplayed edges.
+    let ctx = ExperimentContext::quick(73);
+    let scenario = ctx.scaled(Scenario::scenario_2());
+    let frames = scenario.num_frames() as u64;
+    let plan = FaultPlan::generate(5, &FaultSpec::dropout_storm(frames * 10));
+    assert!(
+        plan.windows().iter().any(|w| w.start_frame >= frames),
+        "the long plan must script windows past the video"
+    );
+    let mut runtime = ShiftRuntime::new(ctx.engine(), ctx.characterization(), paper_shift_config())
+        .expect("runtime builds")
+        .with_fault_plan(plan);
+    let outcomes = runtime.run(scenario.stream()).expect("run completes");
+    assert_eq!(outcomes.len(), frames as usize);
+    let injector = runtime.fault_injector().expect("injector attached");
+    assert!(
+        !injector.is_done(),
+        "edges beyond the video must remain unplayed"
+    );
+    assert!(
+        injector.plan().horizon_frames() >= frames * 10,
+        "the plan outlives the video by construction"
     );
 }
 

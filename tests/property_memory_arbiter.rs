@@ -1,0 +1,165 @@
+//! Property tests for the [`MemoryArbiter`] pin-refcount contract under
+//! randomized load / evict / steal sequences — locking the PR-2 fleet
+//! behaviour that previously had only example-based coverage.
+//!
+//! A reference model of N virtual streams drives the real fleet trio
+//! (`DynamicModelLoader` + `MemoryArbiter` + `ExecutionEngine`) through
+//! arbitrary op sequences:
+//!
+//! * **load** — a stream migrates to a random (model, accelerator) pair via
+//!   `ensure_loaded_protected`, protecting every pinned model, then moves
+//!   its pin (the fleet's commit sequence);
+//! * **steal** — a stream adopts another stream's *current* pair, sharing
+//!   the refcount (the cross-stream reuse case);
+//! * **evict** — a stream quits, releasing its pin.
+//!
+//! After every op the suite checks: no pool ever overcommits its capacity
+//! (no double-free of capacity), every pinned model is still resident
+//! (pinned models are never evicted by a protected load), and the arbiter's
+//! refcounts exactly match the reference model. At quiesce every stream
+//! releases its pin and the refcounts must return to zero.
+//!
+//! [`MemoryArbiter`]: shift_soc::MemoryArbiter
+
+use proptest::prelude::*;
+use shift_core::{CandidatePair, DynamicModelLoader};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{AcceleratorId, ExecutionEngine, MemoryArbiter, Platform, SocError};
+
+const STREAMS: usize = 4;
+
+fn engine() -> ExecutionEngine {
+    ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(2),
+    )
+}
+
+/// Every schedulable pair on the two most contended accelerators. The GPU
+/// pool (1536 MB) holds at most a handful of the large models, so random
+/// sequences genuinely thrash it.
+fn candidate_pairs(engine: &ExecutionEngine) -> Vec<CandidatePair> {
+    let mut pairs = Vec::new();
+    for spec in engine.zoo().iter() {
+        for accelerator in [AcceleratorId::Gpu, AcceleratorId::Dla0] {
+            if engine.validate_pair(spec.id, accelerator).is_ok() {
+                pairs.push(CandidatePair::new(spec.id, accelerator));
+            }
+        }
+    }
+    pairs
+}
+
+// (The fleet excludes a stream's *own* single pin from the protected set so
+// it can migrate within one accelerator; this suite deliberately protects
+// every pin, because a failed load is allowed to evict unprotected models
+// before reporting OutOfMemory — the unconditional "pinned implies resident"
+// contract only holds for the fully protected set.)
+
+/// Checks the three always-invariants against the reference model.
+fn check_invariants(
+    engine: &ExecutionEngine,
+    arbiter: &MemoryArbiter,
+    currents: &[Option<CandidatePair>],
+    pairs: &[CandidatePair],
+) {
+    for accelerator in [AcceleratorId::Gpu, AcceleratorId::Dla0] {
+        let pool = engine.pool(accelerator).expect("pool exists");
+        assert!(
+            pool.used_mb() <= pool.capacity_mb() + 1e-9,
+            "{accelerator} overcommitted: {} / {}",
+            pool.used_mb(),
+            pool.capacity_mb()
+        );
+        for model in arbiter.pinned_models(accelerator) {
+            assert!(
+                engine.is_loaded(model, accelerator),
+                "pinned model {model} was evicted from {accelerator}"
+            );
+        }
+    }
+    // Refcounts match the reference model exactly, for every candidate pair.
+    for &pair in pairs {
+        let expected = currents.iter().filter(|c| **c == Some(pair)).count();
+        assert_eq!(
+            arbiter.pin_count(pair.model, pair.accelerator),
+            expected,
+            "refcount drift on {pair}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn refcounts_never_drift_and_pins_are_never_evicted(
+        ops in proptest::collection::vec((0usize..STREAMS, 0usize..26, 0u8..10), 1..70),
+    ) {
+        let mut engine = engine();
+        let mut loader = DynamicModelLoader::new();
+        let mut arbiter = MemoryArbiter::new();
+        let pairs = candidate_pairs(&engine);
+        let mut currents: [Option<CandidatePair>; STREAMS] = [None; STREAMS];
+
+        for (stream, selector, op_kind) in ops {
+            match op_kind {
+                // Evict: the stream quits and releases its pin.
+                0 | 1 => {
+                    if let Some(old) = currents[stream].take() {
+                        arbiter.unpin(old.model, old.accelerator);
+                    }
+                }
+                // Steal: adopt a peer's current pair, sharing the refcount.
+                // The pair is pinned (peer holds it), hence resident, so no
+                // load is needed — exactly the cross-stream reuse path.
+                2 | 3 => {
+                    let victim = (stream + 1 + selector % (STREAMS - 1)) % STREAMS;
+                    if let Some(target) = currents[victim] {
+                        if let Some(old) = currents[stream].take() {
+                            arbiter.unpin(old.model, old.accelerator);
+                        }
+                        arbiter.pin(target.model, target.accelerator);
+                        currents[stream] = Some(target);
+                    }
+                }
+                // Load: migrate to an arbitrary pair under pin protection.
+                _ => {
+                    let target = pairs[selector % pairs.len()];
+                    let protected = arbiter.pinned_models(target.accelerator);
+                    match loader.ensure_loaded_protected(&mut engine, target, &protected) {
+                        Ok(_) => {
+                            if let Some(old) = currents[stream].take() {
+                                arbiter.unpin(old.model, old.accelerator);
+                            }
+                            arbiter.pin(target.model, target.accelerator);
+                            currents[stream] = Some(target);
+                        }
+                        // Memory-blocked by peer pins: the fleet would
+                        // degrade; the reference stream simply stays put.
+                        Err(SocError::OutOfMemory { .. }) => {}
+                        Err(other) => panic!("unexpected loader error: {other}"),
+                    }
+                }
+            }
+            check_invariants(&engine, &arbiter, &currents, &pairs);
+        }
+
+        // Quiesce: every stream releases its pin; refcounts return to zero.
+        for current in currents.iter_mut() {
+            if let Some(old) = current.take() {
+                arbiter.unpin(old.model, old.accelerator);
+            }
+        }
+        prop_assert_eq!(arbiter.pinned_pairs(), 0, "refcounts must quiesce to zero");
+        for &pair in &pairs {
+            prop_assert_eq!(arbiter.pin_count(pair.model, pair.accelerator), 0);
+        }
+        // Releasing more than was pinned must stay a no-op (no double-free).
+        for &pair in &pairs {
+            arbiter.unpin(pair.model, pair.accelerator);
+        }
+        prop_assert_eq!(arbiter.pinned_pairs(), 0);
+    }
+}

@@ -5,8 +5,8 @@
 //!
 //! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
 //!   header and `arg in strategy` bindings,
-//! * range strategies over `f64` / `u64` / `usize` and
-//!   [`collection::vec`],
+//! * range strategies over `f64` / `u64` / `usize` / `u8`, tuples of
+//!   strategies (up to 4 elements) and [`collection::vec`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * [`ProptestConfig::with_cases`].
 //!
@@ -72,6 +72,32 @@ impl Strategy for Range<usize> {
         rng.gen_range(self.clone())
     }
 }
+
+impl Strategy for Range<u8> {
+    type Value = u8;
+
+    fn sample(&self, rng: &mut TestRng) -> u8 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
@@ -195,6 +221,18 @@ mod tests {
         fn vec_lengths_in_range(v in crate::collection::vec(0.0..1.0f64, 2..6)) {
             prop_assert!((2..6).contains(&v.len()));
             prop_assert!(v.iter().all(|e| (0.0..1.0).contains(e)));
+        }
+
+        /// Tuple strategies sample each element from its own range,
+        /// including inside vec strategies.
+        #[test]
+        fn tuples_sample_elementwise(
+            pair in (0usize..4, 10u64..20),
+            v in crate::collection::vec((0usize..3, 0u8..10), 1..5),
+        ) {
+            prop_assert!((0..4).contains(&pair.0));
+            prop_assert!((10..20).contains(&pair.1));
+            prop_assert!(v.iter().all(|(a, b)| (0..3).contains(a) && (0..10).contains(b)));
         }
     }
 
