@@ -34,13 +34,15 @@
 
 use crate::characterize::Characterization;
 use crate::config::ShiftConfig;
+use crate::des::{EventKind, EventQueue, ExecutionMode, TraceEvent};
 use crate::loader::DynamicModelLoader;
 use crate::runtime::{FrameOutcome, LoadCharge, ResilienceCounters, StreamAgent};
 use crate::scheduler::{CandidatePair, Decision};
 use crate::ShiftError;
 use serde::{Deserialize, Serialize};
 use shift_soc::{
-    ExecutionEngine, FaultInjector, FaultPlan, MemoryArbiter, OccupancyTracker, SocError,
+    ExecutionEngine, FaultInjector, FaultPlan, InferenceReport, MemoryArbiter, OccupancyTracker,
+    SocError,
 };
 use shift_video::{Frame, FrameStream, Scenario};
 
@@ -129,6 +131,43 @@ enum CandidateOutcome {
     Skipped,
 }
 
+/// Everything the admission phase decides about one frame, carried between
+/// the lifecycle phases (and, in event-driven mode, inside the event queue)
+/// so that both execution modes run the exact same state transitions.
+#[derive(Debug, Clone)]
+struct AdmittedFrame {
+    /// Whether a scripted fault window was active at admission.
+    fault_active: bool,
+    /// The (possibly re-planned) scheduling decision.
+    decision: Decision,
+    /// The stream's incumbent pair before this frame.
+    old: CandidatePair,
+    /// The pair actually acquired (the decision, or a degrade fallback).
+    pair: CandidatePair,
+    /// Load cost charged while acquiring the pair.
+    charge: LoadCharge,
+}
+
+/// Payloads of the events the event-driven fleet loop schedules.
+#[derive(Debug, Clone)]
+enum FleetEvent {
+    /// A scripted fault/recovery edge is due; fires `FaultInjector::advance`.
+    FaultEdge,
+    /// A stream's next frame enters the system.
+    FrameArrival { frame: Box<Frame> },
+    /// The frame's pair is resident; inference can run.
+    LoadComplete {
+        frame: Box<Frame>,
+        admitted: AdmittedFrame,
+    },
+    /// Inference finished; the outcome commits.
+    InferenceComplete {
+        frame: Box<Frame>,
+        admitted: AdmittedFrame,
+        report: InferenceReport,
+    },
+}
+
 /// Per-stream runtime state inside the fleet.
 #[derive(Debug, Clone)]
 struct StreamState {
@@ -177,11 +216,26 @@ pub struct FleetRuntime {
     arbiter: MemoryArbiter,
     streams: Vec<StreamState>,
     config: FleetConfig,
-    /// Optional scripted fault injector, advanced once per fleet step.
+    /// Optional scripted fault injector. In lockstep mode it is advanced
+    /// once per fleet step; in event-driven mode its plan's edges are
+    /// pre-scheduled as [`EventKind::FaultEdge`] events.
     injector: Option<FaultInjector>,
     /// Frames admitted so far: the fleet-wide discrete clock faults are
-    /// keyed on.
+    /// keyed on, and the `time` axis of every scheduled event.
     steps: u64,
+    /// Which inner loop drives the fleet (event-driven by default).
+    mode: ExecutionMode,
+    /// Pending events of the event-driven loop.
+    events: EventQueue<FleetEvent>,
+    /// Streams with a frame pending, ascending — the event-driven loop's
+    /// admission set. Kept in lockstep with `next_frame.is_some()` so
+    /// drained or idle streams cost nothing per step (O(active)).
+    ready: Vec<usize>,
+    /// Per-stream scheduling examinations performed by admission so far —
+    /// the step-count hook the O(active) regression test asserts on.
+    stream_polls: u64,
+    /// Optional event trace (enabled via [`FleetRuntime::enable_event_trace`]).
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl FleetRuntime {
@@ -216,6 +270,11 @@ impl FleetRuntime {
             config,
             injector: None,
             steps: 0,
+            mode: ExecutionMode::default(),
+            events: EventQueue::new(),
+            ready: Vec::new(),
+            stream_polls: 0,
+            trace: None,
         };
         for spec in specs {
             let mut agent = StreamAgent::new(characterization, spec.config)?;
@@ -250,6 +309,7 @@ impl FleetRuntime {
                 resilience: ResilienceCounters::default(),
             });
         }
+        fleet.prime_des();
         Ok(fleet)
     }
 
@@ -260,7 +320,49 @@ impl FleetRuntime {
     /// one.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.injector = Some(FaultInjector::new(plan));
+        self.prime_des();
         self
+    }
+
+    /// Selects the fleet's inner loop ([`ExecutionMode::EventDriven`] is the
+    /// default). Both modes produce bit-identical outcomes — the lockstep
+    /// loop is retained as the differential-testing oracle.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self.prime_des();
+        self
+    }
+
+    /// The inner loop currently driving the fleet.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Per-stream scheduling examinations performed by admission so far.
+    ///
+    /// Every step, the lockstep loop examines all N streams (to find the
+    /// pending ones and rank them); the event-driven loop examines only the
+    /// ready set. The counter makes that O(N) vs O(active) difference
+    /// observable to tests without timing anything.
+    pub fn stream_polls(&self) -> u64 {
+        self.stream_polls
+    }
+
+    /// Starts recording an event trace ([`TraceEvent`] per lifecycle event;
+    /// both modes record frame events identically). Retrieval via
+    /// [`FleetRuntime::take_event_trace`].
+    pub fn enable_event_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded event trace, leaving recording enabled.
+    pub fn take_event_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(trace) => std::mem::take(trace),
+            None => Vec::new(),
+        }
     }
 
     /// The fault injector, when a plan is attached.
@@ -358,6 +460,14 @@ impl FleetRuntime {
     /// pressure and per-pair incompatibilities are handled by degrading to
     /// the next-best candidate, not reported as errors.
     pub fn step(&mut self) -> Result<Option<FleetFrameOutcome>, ShiftError> {
+        match self.mode {
+            ExecutionMode::Lockstep => self.step_lockstep(),
+            ExecutionMode::EventDriven => self.step_event_driven(),
+        }
+    }
+
+    /// The original inner loop: poll the injector, scan every stream.
+    fn step_lockstep(&mut self) -> Result<Option<FleetFrameOutcome>, ShiftError> {
         // Scripted platform faults land at the step boundary, before
         // admission, so every stream observes the same platform state a
         // sequential replay would. Re-running a failed step re-advances to
@@ -365,13 +475,19 @@ impl FleetRuntime {
         if let Some(injector) = self.injector.as_mut() {
             injector.advance(self.steps, &mut self.engine);
         }
-        let Some(index) = self.next_stream() else {
+        let candidates: Vec<usize> = (0..self.streams.len())
+            .filter(|&i| self.streams[i].next_frame.is_some())
+            .collect();
+        // The drained-stream scan above is admission work too; the ranking
+        // pass inside `select_stream` counts the candidates themselves.
+        self.stream_polls += (self.streams.len() - candidates.len()) as u64;
+        let Some(index) = self.select_stream(&candidates) else {
             return Ok(None);
         };
         let frame = self.streams[index]
             .next_frame
             .take()
-            .expect("next_stream only returns streams with a pending frame");
+            .expect("admission only selects streams with a pending frame");
         // On error the frame is put back, so the stream is not silently
         // drained and a caller that handles the error can keep stepping.
         let outcome = match self.process_stream_frame(index, &frame) {
@@ -381,11 +497,164 @@ impl FleetRuntime {
                 return Err(err);
             }
         };
+        self.finish_step(index);
+        Ok(Some(outcome))
+    }
+
+    /// The discrete-event inner loop. One step = fire the due fault edges,
+    /// admit one frame from the ready set, and run its lifecycle events
+    /// (arrival → load-complete → inference-complete) off the queue.
+    ///
+    /// Events are keyed on the discrete admission tick, not on virtual
+    /// seconds: admission order is decided by the fairness policy over live
+    /// occupancy/lag state, so replaying the lockstep tick order — with the
+    /// documented `(time, rank, stream, seq)` tie-break — is precisely what
+    /// keeps the two modes bit-identical (the differential harness enforces
+    /// this). The payoff is the ready set: drained streams leave it, so a
+    /// step costs O(active streams + due events), not O(N).
+    fn step_event_driven(&mut self) -> Result<Option<FleetFrameOutcome>, ShiftError> {
+        let tick = self.steps;
+        // Fault edges scheduled at or before this tick fire first — the same
+        // boundary the lockstep loop advances the injector on. This happens
+        // even when the fleet is drained, matching lockstep's final
+        // advance-then-return-None step.
+        self.fire_due_fault_edges(tick);
+        // Only the ready set is examined (`select_stream` counts it into
+        // `stream_polls`); drained and idle streams cost nothing here.
+        let ready = std::mem::take(&mut self.ready);
+        let picked = self.select_stream(&ready);
+        self.ready = ready;
+        let Some(index) = picked else {
+            return Ok(None);
+        };
+        let slot = self
+            .ready
+            .binary_search(&index)
+            .expect("admission picks from the ready set");
+        self.ready.remove(slot);
+        let frame = self.streams[index]
+            .next_frame
+            .take()
+            .expect("ready streams have a pending frame");
+        self.events.schedule(
+            tick,
+            EventKind::FrameArrival,
+            index as u32,
+            FleetEvent::FrameArrival { frame },
+        );
+        while let Some(event) = self.events.pop() {
+            debug_assert!(event.key.time <= tick, "frame lifecycle stays on its tick");
+            match event.payload {
+                FleetEvent::FaultEdge => self.advance_injector(tick),
+                FleetEvent::FrameArrival { frame } => match self.admit_frame(index, &frame) {
+                    Ok(admitted) => {
+                        self.events.schedule(
+                            tick,
+                            EventKind::LoadComplete,
+                            index as u32,
+                            FleetEvent::LoadComplete { frame, admitted },
+                        );
+                    }
+                    Err(err) => {
+                        self.requeue_frame(index, frame);
+                        return Err(err);
+                    }
+                },
+                FleetEvent::LoadComplete { frame, admitted } => {
+                    match self.run_frame_inference(&admitted, &frame) {
+                        Ok(report) => {
+                            self.events.schedule(
+                                tick,
+                                EventKind::InferenceComplete,
+                                index as u32,
+                                FleetEvent::InferenceComplete {
+                                    frame,
+                                    admitted,
+                                    report,
+                                },
+                            );
+                        }
+                        Err(err) => {
+                            self.requeue_frame(index, frame);
+                            return Err(err);
+                        }
+                    }
+                }
+                FleetEvent::InferenceComplete {
+                    frame,
+                    admitted,
+                    report,
+                } => {
+                    let outcome = self.complete_frame(index, admitted, &frame, &report);
+                    self.finish_step(index);
+                    if self.streams[index].next_frame.is_some() {
+                        self.insert_ready(index);
+                    }
+                    return Ok(Some(outcome));
+                }
+            }
+        }
+        unreachable!("the admitted frame's lifecycle always completes or errors")
+    }
+
+    /// Commits the bookkeeping shared by both loops after a successful
+    /// frame: advance the stream and the fleet clock.
+    fn finish_step(&mut self, index: usize) {
         let state = &mut self.streams[index];
         state.processed += 1;
         state.next_frame = state.stream.next().map(Box::new);
         self.steps += 1;
-        Ok(Some(outcome))
+    }
+
+    /// Restores an errored frame so the caller can retry the step
+    /// (event-driven path; the stream re-enters the ready set).
+    fn requeue_frame(&mut self, index: usize, frame: Box<Frame>) {
+        self.streams[index].next_frame = Some(frame);
+        self.insert_ready(index);
+    }
+
+    /// Inserts `index` into the sorted ready set (idempotent).
+    fn insert_ready(&mut self, index: usize) {
+        if let Err(slot) = self.ready.binary_search(&index) {
+            self.ready.insert(slot, index);
+        }
+    }
+
+    /// (Re)builds the event-driven loop's state: the ready set from the
+    /// streams with a pending frame, and one scheduled [`EventKind::FaultEdge`]
+    /// per distinct edge frame of the attached fault plan. Safe to call
+    /// between steps at any point — `FaultInjector::advance` is idempotent,
+    /// so edges that already fired re-fire as no-ops.
+    fn prime_des(&mut self) {
+        self.events.clear();
+        self.ready = (0..self.streams.len())
+            .filter(|&i| self.streams[i].next_frame.is_some())
+            .collect();
+        if let Some(injector) = &self.injector {
+            for frame in injector.plan().edge_frames() {
+                self.events
+                    .schedule(frame, EventKind::FaultEdge, 0, FleetEvent::FaultEdge);
+            }
+        }
+    }
+
+    /// Pops and fires every fault edge due at or before `tick`.
+    fn fire_due_fault_edges(&mut self, tick: u64) {
+        while self
+            .events
+            .peek()
+            .is_some_and(|key| key.time <= tick && key.rank == EventKind::FaultEdge.rank())
+        {
+            let _ = self.events.pop();
+            self.advance_injector(tick);
+        }
+    }
+
+    /// Advances the injector to `tick` (a no-op between scripted edges).
+    fn advance_injector(&mut self, tick: u64) {
+        if let Some(injector) = self.injector.as_mut() {
+            injector.advance(tick, &mut self.engine);
+        }
     }
 
     /// Runs every stream to completion, returning the outcomes in admission
@@ -402,16 +671,18 @@ impl FleetRuntime {
         Ok(outcomes)
     }
 
-    /// Selects the stream to admit next: the argmin of
+    /// Selects the stream to admit next from `candidates` (stream indices,
+    /// ascending, each with a pending frame): the argmin of
     /// `fairness * lag + (1 - fairness) * wait`, where `lag` ranks streams
     /// by frames processed (fewest first) and `wait` ranks them by the
     /// queueing delay their current accelerator would charge, both
     /// normalized to `[0, 1]` over the candidate set. Ties break on the
-    /// lowest stream index, keeping admission fully deterministic.
-    fn next_stream(&self) -> Option<usize> {
-        let candidates: Vec<usize> = (0..self.streams.len())
-            .filter(|&i| self.streams[i].next_frame.is_some())
-            .collect();
+    /// lowest stream index, keeping admission fully deterministic. Both
+    /// execution modes rank through this one function — the lockstep loop
+    /// passes the full pending scan, the event-driven loop its ready set —
+    /// so admission order cannot diverge between them.
+    fn select_stream(&mut self, candidates: &[usize]) -> Option<usize> {
+        self.stream_polls += candidates.len() as u64;
         if candidates.is_empty() {
             return None;
         }
@@ -457,12 +728,24 @@ impl FleetRuntime {
         best.map(|(_, index)| index)
     }
 
-    /// Processes `frame` on stream `index` against the shared engine.
+    /// Processes `frame` on stream `index` against the shared engine — the
+    /// lockstep composition of the three lifecycle phases. The event-driven
+    /// loop runs the *same* phases, routed through the event queue, which is
+    /// what makes the two modes bit-identical by construction.
     fn process_stream_frame(
         &mut self,
         index: usize,
         frame: &Frame,
     ) -> Result<FleetFrameOutcome, ShiftError> {
+        let admitted = self.admit_frame(index, frame)?;
+        let report = self.run_frame_inference(&admitted, frame)?;
+        Ok(self.complete_frame(index, admitted, frame, &report))
+    }
+
+    /// Lifecycle phase 1 — admission: decide (re-planning around dropped
+    /// accelerators) and make a pair resident, without mutating pins or
+    /// per-stream counters (so an error leaves the fleet retryable).
+    fn admit_frame(&mut self, index: usize, frame: &Frame) -> Result<AdmittedFrame, ShiftError> {
         let fault_active = self.injector.as_ref().is_some_and(|i| i.is_fault_active());
         let mut decision = self.streams[index].agent.decide(frame);
         if !self.engine.is_online(decision.pair.accelerator) && decision.scores.is_empty() {
@@ -487,15 +770,46 @@ impl FleetRuntime {
         }
         let old = self.streams[index].agent.current_pair();
         let (pair, charge) = self.acquire_pair(&decision, old)?;
+        Ok(AdmittedFrame {
+            fault_active,
+            decision,
+            old,
+            pair,
+            charge,
+        })
+    }
 
-        // --- Inference on the shared engine. ---
-        let report = self
+    /// Lifecycle phase 2 — inference on the shared engine with the admitted
+    /// pair.
+    fn run_frame_inference(
+        &mut self,
+        admitted: &AdmittedFrame,
+        frame: &Frame,
+    ) -> Result<InferenceReport, ShiftError> {
+        Ok(self
             .engine
-            .run_inference(pair.model, pair.accelerator, frame)?;
+            .run_inference(admitted.pair.model, admitted.pair.accelerator, frame)?)
+    }
 
-        // Nothing below can fail: commit the pin move and the pending load
-        // charge only now, so an error above leaves the arbiter refcounts
-        // and the stream's pending costs untouched for a retry.
+    /// Lifecycle phase 3 — completion: commit the pin move, resilience
+    /// counters, load charges, the occupancy reservation and the agent
+    /// update. Nothing here can fail, so an error in the earlier phases
+    /// leaves the arbiter refcounts and the stream's pending costs untouched
+    /// for a retry.
+    fn complete_frame(
+        &mut self,
+        index: usize,
+        admitted: AdmittedFrame,
+        frame: &Frame,
+        report: &InferenceReport,
+    ) -> FleetFrameOutcome {
+        let AdmittedFrame {
+            fault_active,
+            decision,
+            old,
+            pair,
+            charge,
+        } = admitted;
         if pair != old {
             self.arbiter.unpin(old.model, old.accelerator);
             self.arbiter.pin(pair.model, pair.accelerator);
@@ -530,19 +844,43 @@ impl FleetRuntime {
             frame,
             pair,
             &decision,
-            &report,
+            report,
             load,
             reservation.wait_s,
         );
         let completion = submit + outcome.latency_s;
         self.streams[index].clock_s = completion;
-        Ok(FleetFrameOutcome {
+        if let Some(trace) = self.trace.as_mut() {
+            // The three virtual stamps reconstruct the latency accounting:
+            // completion − arrival is the end-to-end latency, completion −
+            // load-complete is exactly the inference kernel's latency.
+            let tick = self.steps;
+            trace.push(TraceEvent {
+                tick,
+                kind: EventKind::FrameArrival,
+                stream: index,
+                at_s: submit,
+            });
+            trace.push(TraceEvent {
+                tick,
+                kind: EventKind::LoadComplete,
+                stream: index,
+                at_s: completion - report.latency_s,
+            });
+            trace.push(TraceEvent {
+                tick,
+                kind: EventKind::InferenceComplete,
+                stream: index,
+                at_s: completion,
+            });
+        }
+        FleetFrameOutcome {
             stream: index,
             submit_time_s: submit,
             queue_wait_s: reservation.wait_s,
             completion_time_s: completion,
             outcome,
-        })
+        }
     }
 
     /// The models on `accelerator` this stream must not evict: everything
@@ -872,6 +1210,137 @@ mod tests {
             fleet.run_to_completion().unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lockstep_and_event_driven_modes_are_bit_identical_under_faults() {
+        let characterization = characterization(21);
+        let run = |mode: ExecutionMode| {
+            let specs = vec![
+                StreamSpec::new(
+                    "a",
+                    Scenario::scenario_1().with_num_frames(30),
+                    ShiftConfig::paper_defaults(),
+                ),
+                StreamSpec::new(
+                    "b",
+                    Scenario::scenario_4().with_num_frames(24),
+                    ShiftConfig::paper_defaults(),
+                ),
+                StreamSpec::new(
+                    "c",
+                    Scenario::scenario_3().with_num_frames(18),
+                    ShiftConfig::paper_defaults().with_accuracy_goal(0.4),
+                ),
+            ];
+            let plan = shift_soc::FaultPlan::generate(9, &shift_soc::FaultSpec::mixed(72));
+            let mut fleet = FleetRuntime::new(
+                engine(21),
+                &characterization,
+                FleetConfig::default().with_fairness(0.6),
+                specs,
+            )
+            .unwrap()
+            .with_fault_plan(plan)
+            .with_execution_mode(mode);
+            assert_eq!(fleet.execution_mode(), mode);
+            let outcomes = fleet.run_to_completion().unwrap();
+            let resilience: Vec<ResilienceCounters> = (0..fleet.stream_count())
+                .map(|i| fleet.stream_resilience(i))
+                .collect();
+            (outcomes, resilience, fleet.makespan_s())
+        };
+        let lockstep = run(ExecutionMode::Lockstep);
+        let event_driven = run(ExecutionMode::EventDriven);
+        assert_eq!(lockstep, event_driven);
+        assert_eq!(
+            format!("{:?}", lockstep).into_bytes(),
+            format!("{:?}", event_driven).into_bytes(),
+            "byte-identical debug serialization"
+        );
+    }
+
+    #[test]
+    fn event_trace_stamps_reconstruct_the_latency_accounting() {
+        let characterization = characterization(22);
+        let specs = vec![
+            StreamSpec::new(
+                "x",
+                Scenario::scenario_2().with_num_frames(12),
+                ShiftConfig::paper_defaults(),
+            ),
+            StreamSpec::new(
+                "y",
+                Scenario::scenario_5().with_num_frames(12),
+                ShiftConfig::paper_defaults(),
+            ),
+        ];
+        let mut fleet = FleetRuntime::new(
+            engine(22),
+            &characterization,
+            FleetConfig::round_robin(),
+            specs,
+        )
+        .unwrap();
+        fleet.enable_event_trace();
+        let outcomes = fleet.run_to_completion().unwrap();
+        let trace = fleet.take_event_trace();
+        assert_eq!(trace.len(), 3 * outcomes.len(), "three events per frame");
+        for (chunk, outcome) in trace.chunks(3).zip(outcomes.iter()) {
+            let [arrival, load, inference] = chunk else {
+                panic!()
+            };
+            assert_eq!(arrival.kind, EventKind::FrameArrival);
+            assert_eq!(load.kind, EventKind::LoadComplete);
+            assert_eq!(inference.kind, EventKind::InferenceComplete);
+            assert!(arrival.tick == load.tick && load.tick == inference.tick);
+            assert_eq!(arrival.stream, outcome.stream);
+            assert_eq!(arrival.at_s, outcome.submit_time_s);
+            assert_eq!(inference.at_s, outcome.completion_time_s);
+            // completion − arrival is the end-to-end latency.
+            assert!((inference.at_s - arrival.at_s - outcome.outcome.latency_s).abs() < 1e-9);
+            assert!(arrival.at_s <= load.at_s && load.at_s <= inference.at_s);
+        }
+        assert!(fleet.take_event_trace().is_empty(), "take drains the trace");
+    }
+
+    #[test]
+    fn event_driven_admission_work_is_o_active_not_o_streams() {
+        let characterization = characterization(23);
+        // 6 streams: four with long scenarios, two that drain after 2 frames.
+        let specs: Vec<StreamSpec> = (0..6)
+            .map(|i| {
+                let frames = if i < 4 { 20 } else { 2 };
+                StreamSpec::new(
+                    format!("s{i}"),
+                    Scenario::scenario_3()
+                        .with_num_frames(frames)
+                        .with_seed(90 + i),
+                    ShiftConfig::paper_defaults(),
+                )
+            })
+            .collect();
+        let run = |mode: ExecutionMode| {
+            let mut fleet = FleetRuntime::new(
+                engine(23),
+                &characterization,
+                FleetConfig::round_robin(),
+                specs.clone(),
+            )
+            .unwrap()
+            .with_execution_mode(mode);
+            // Drain the two short streams plus one round of the others.
+            while !fleet.is_done() && fleet.frames_processed(4) + fleet.frames_processed(5) < 4 {
+                fleet.step().unwrap();
+            }
+            let before = fleet.stream_polls();
+            fleet.step().unwrap();
+            fleet.stream_polls() - before
+        };
+        // Once streams 4 and 5 are drained, a lockstep step still scans all
+        // 6 streams; an event-driven step examines only the 4 active ones.
+        assert_eq!(run(ExecutionMode::Lockstep), 6);
+        assert_eq!(run(ExecutionMode::EventDriven), 4);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 pub mod characterize;
 pub mod config;
 pub mod context;
+pub mod des;
 pub mod fleet;
 pub mod graph;
 pub mod loader;
@@ -60,6 +61,7 @@ pub mod traits;
 pub use characterize::{characterize, Characterization, ModelObservation, SampleObservation};
 pub use config::{Knobs, ShiftConfig};
 pub use context::ContextDetector;
+pub use des::{Event, EventKey, EventKind, EventQueue, ExecutionMode, TraceEvent};
 pub use fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
 pub use graph::{ConfidenceGraph, GraphConfig, Prediction};
 pub use loader::{DynamicModelLoader, LoadOutcome};
@@ -74,6 +76,7 @@ pub use traits::{AcceleratorStats, ModelTraits};
 pub mod prelude {
     pub use crate::characterize::{characterize, Characterization};
     pub use crate::config::{Knobs, ShiftConfig};
+    pub use crate::des::{EventKind, EventQueue, ExecutionMode};
     pub use crate::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
     pub use crate::graph::{ConfidenceGraph, GraphConfig};
     pub use crate::runtime::{FrameOutcome, ResilienceCounters, ShiftRuntime};

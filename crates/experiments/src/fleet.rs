@@ -99,7 +99,8 @@ pub fn run_specs(
         ctx.characterization(),
         FleetConfig::round_robin(),
         specs,
-    )?;
+    )?
+    .with_execution_mode(ctx.execution_mode());
     let outcomes = fleet.run_to_completion()?;
 
     let mut records: Vec<Vec<FrameRecord>> = vec![Vec::new(); n];

@@ -73,7 +73,8 @@ use shift_baselines::{
     MarlinConfig, MarlinRuntime, OracleObjective, OracleRuntime, SingleModelRuntime,
 };
 use shift_core::{
-    characterize, Characterization, FrameOutcome, ShiftConfig, ShiftError, ShiftRuntime,
+    characterize, Characterization, ExecutionMode, FrameOutcome, ShiftConfig, ShiftError,
+    ShiftRuntime,
 };
 use shift_metrics::FrameRecord;
 use shift_models::{ModelId, ModelZoo, ResponseModel};
@@ -135,6 +136,9 @@ pub struct ExperimentContext {
     scale: f64,
     /// Worker count for the parallel experiment executor (the `--jobs` flag).
     jobs: usize,
+    /// Inner loop for fleet runs (the `--lockstep` flag switches back to the
+    /// pre-DES loop; artifacts are bit-identical either way).
+    execution_mode: ExecutionMode,
 }
 
 impl ExperimentContext {
@@ -165,6 +169,7 @@ impl ExperimentContext {
             characterization,
             scale: scale.clamp(0.001, 1.0),
             jobs: executor::default_jobs(),
+            execution_mode: ExecutionMode::default(),
         }
     }
 
@@ -179,6 +184,19 @@ impl ExperimentContext {
     /// The executor worker count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Sets the fleet inner loop (event-driven by default). Both modes
+    /// produce bit-identical artifacts; the lockstep loop is retained as
+    /// the differential-testing oracle.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
+    /// The fleet inner loop.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.execution_mode
     }
 
     /// The seed driving the simulation.

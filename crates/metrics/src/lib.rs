@@ -45,6 +45,7 @@ pub mod stats;
 pub mod summary;
 pub mod timeline;
 pub mod timing;
+pub mod trace;
 
 pub use breakdown::{BreakdownAggregate, ScenarioBreakdown, ScenarioRow, SCENARIO_CSV_HEADER};
 pub use curve::{
@@ -64,3 +65,6 @@ pub use stats::{mean, pearson_correlation, percentile, std_dev};
 pub use summary::RunSummary;
 pub use timeline::Timeline;
 pub use timing::{TimingRow, TIMING_CSV_HEADER};
+pub use trace::{
+    des_trace_to_csv, frame_timelines, DesEventRow, FrameTimeline, DES_TRACE_CSV_HEADER,
+};

@@ -1,0 +1,217 @@
+//! Export and latency accounting for discrete-event traces.
+//!
+//! The fleet runtime can record one [`TraceEvent`]-shaped entry per
+//! lifecycle event (frame arrival, load complete, inference complete). This
+//! module gives those stamps a metrics surface without coupling the metrics
+//! crate to the core runtime: a [`DesEventRow`] is the plain
+//! `(tick, kind label, stream, at_s)` tuple, exportable as CSV, and a
+//! [`FrameTimeline`] reconstructs a frame's latency decomposition *from the
+//! event timestamps alone* — the end-to-end latency is
+//! `inference_complete − arrival`, the inference kernel's share is
+//! `inference_complete − load_complete`, and everything before the kernel
+//! (queueing, scheduling overhead, model loads) is the remainder. The
+//! integration suite cross-checks these reconstructions against the
+//! runtime's own per-frame accounting.
+//!
+//! [`TraceEvent`]: https://docs.rs/shift-core (shift_core::des::TraceEvent)
+
+use crate::export::{csv_escape, number};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write;
+
+/// Header row matching [`DesEventRow::csv_row`].
+pub const DES_TRACE_CSV_HEADER: &str = "tick,kind,stream,at_s";
+
+/// One discrete-event trace entry, decoupled from the runtime's types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesEventRow {
+    /// Discrete admission tick the event fired on.
+    pub tick: u64,
+    /// Stable lowercase event-kind label (e.g. `frame_arrival`).
+    pub kind: String,
+    /// Stream the event belongs to.
+    pub stream: usize,
+    /// Virtual time of the event, seconds.
+    pub at_s: f64,
+}
+
+impl DesEventRow {
+    /// Creates a row.
+    pub fn new(tick: u64, kind: impl Into<String>, stream: usize, at_s: f64) -> Self {
+        Self {
+            tick,
+            kind: kind.into(),
+            stream,
+            at_s,
+        }
+    }
+
+    /// Renders the row as one CSV line matching [`DES_TRACE_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{}",
+            self.tick,
+            csv_escape(&self.kind),
+            self.stream,
+            number(self.at_s)
+        );
+        out
+    }
+}
+
+/// Renders trace rows as CSV, one row per event, including the header.
+pub fn des_trace_to_csv(rows: &[DesEventRow]) -> String {
+    let mut out = String::from(DES_TRACE_CSV_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// One frame's latency decomposition, reconstructed purely from its three
+/// lifecycle timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameTimeline {
+    /// The stream the frame belongs to.
+    pub stream: usize,
+    /// Virtual time the frame was submitted, seconds.
+    pub arrival_s: f64,
+    /// Virtual time its model load (or resident fast path) finished and
+    /// inference started, seconds.
+    pub load_complete_s: f64,
+    /// Virtual time its inference finished, seconds.
+    pub inference_complete_s: f64,
+}
+
+impl FrameTimeline {
+    /// Builds a timeline from the three stamps, validating monotonicity.
+    /// Returns `None` when the stamps are out of order or non-finite.
+    pub fn from_stamps(
+        stream: usize,
+        arrival_s: f64,
+        load_complete_s: f64,
+        inference_complete_s: f64,
+    ) -> Option<Self> {
+        let ordered = arrival_s.is_finite()
+            && load_complete_s.is_finite()
+            && inference_complete_s.is_finite()
+            && arrival_s <= load_complete_s
+            && load_complete_s <= inference_complete_s;
+        ordered.then_some(Self {
+            stream,
+            arrival_s,
+            load_complete_s,
+            inference_complete_s,
+        })
+    }
+
+    /// End-to-end latency: completion − arrival, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.inference_complete_s - self.arrival_s
+    }
+
+    /// Inference-kernel share of the latency, seconds.
+    pub fn inference_s(&self) -> f64 {
+        self.inference_complete_s - self.load_complete_s
+    }
+
+    /// Everything before the kernel — queueing delay, scheduling overhead
+    /// and model loads — seconds.
+    pub fn pre_inference_s(&self) -> f64 {
+        self.load_complete_s - self.arrival_s
+    }
+}
+
+/// Reconstructs per-frame timelines from a trace: rows are consumed in
+/// order, and each `frame_arrival` → `load_complete` → `inference_complete`
+/// run of the same stream becomes one [`FrameTimeline`] (the order the
+/// fleet's trace recorder emits). Malformed runs are skipped rather than
+/// guessed at.
+pub fn frame_timelines(rows: &[DesEventRow]) -> Vec<FrameTimeline> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        if rows[i].kind == "frame_arrival"
+            && i + 2 < rows.len()
+            && rows[i + 1].kind == "load_complete"
+            && rows[i + 2].kind == "inference_complete"
+            && rows[i + 1].stream == rows[i].stream
+            && rows[i + 2].stream == rows[i].stream
+        {
+            if let Some(timeline) = FrameTimeline::from_stamps(
+                rows[i].stream,
+                rows[i].at_s,
+                rows[i + 1].at_s,
+                rows[i + 2].at_s,
+            ) {
+                out.push(timeline);
+                i += 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_rows(stream: usize, tick: u64, base: f64) -> [DesEventRow; 3] {
+        [
+            DesEventRow::new(tick, "frame_arrival", stream, base),
+            DesEventRow::new(tick, "load_complete", stream, base + 0.2),
+            DesEventRow::new(tick, "inference_complete", stream, base + 0.5),
+        ]
+    }
+
+    #[test]
+    fn csv_rows_match_the_header() {
+        let row = DesEventRow::new(4, "frame_arrival", 1, 0.25);
+        assert_eq!(row.csv_row(), "4,frame_arrival,1,0.25");
+        assert_eq!(
+            row.csv_row().split(',').count(),
+            DES_TRACE_CSV_HEADER.split(',').count()
+        );
+        let csv = des_trace_to_csv(&frame_rows(0, 0, 1.0));
+        assert!(csv.starts_with("tick,kind,stream,at_s\n"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn timelines_reconstruct_the_latency_decomposition() {
+        let rows: Vec<DesEventRow> = frame_rows(2, 0, 1.0)
+            .into_iter()
+            .chain(frame_rows(0, 1, 1.5))
+            .collect();
+        let timelines = frame_timelines(&rows);
+        assert_eq!(timelines.len(), 2);
+        let t = timelines[0];
+        assert_eq!(t.stream, 2);
+        assert!((t.latency_s() - 0.5).abs() < 1e-12);
+        assert!((t.inference_s() - 0.3).abs() < 1e-12);
+        assert!((t.pre_inference_s() - 0.2).abs() < 1e-12);
+        assert!((t.latency_s() - t.inference_s() - t.pre_inference_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_runs_are_skipped_not_guessed() {
+        // Missing load_complete, wrong stream, and reversed stamps.
+        let rows = vec![
+            DesEventRow::new(0, "frame_arrival", 0, 1.0),
+            DesEventRow::new(0, "inference_complete", 0, 1.5),
+            DesEventRow::new(1, "frame_arrival", 1, 2.0),
+            DesEventRow::new(1, "load_complete", 2, 2.1),
+            DesEventRow::new(1, "inference_complete", 1, 2.2),
+        ];
+        assert!(frame_timelines(&rows).is_empty());
+        assert!(FrameTimeline::from_stamps(0, 2.0, 1.0, 3.0).is_none());
+        assert!(FrameTimeline::from_stamps(0, f64::NAN, 1.0, 3.0).is_none());
+        assert!(FrameTimeline::from_stamps(0, 1.0, 1.0, 1.0).is_some());
+    }
+}

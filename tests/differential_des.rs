@@ -1,0 +1,323 @@
+//! Differential test harness: the event-driven fleet core against the
+//! lockstep oracle.
+//!
+//! PR 6 replaces the fleet's inner loop with a discrete-event scheduler
+//! (`shift_core::des`). That refactor is only shippable if it is
+//! machine-verified rather than trusted, so this suite runs *both* inner
+//! loops — the retained lockstep oracle and the event-driven default — over
+//! the PR-3 scenario library and the PR-5 fault-plan presets and asserts
+//! bit-for-bit identical results: per-frame outcomes (including virtual
+//! timing), per-stream resilience counters, engine telemetry, and the
+//! rendered metrics CSV rows.
+//!
+//! The suite also locks in the architectural payoff: a step of the
+//! event-driven loop performs admission work proportional to the *active*
+//! stream set, not the fleet size (the 64-stream idle regression test).
+
+use proptest::prelude::*;
+use shift_core::des::ExecutionMode;
+use shift_core::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
+use shift_core::{characterize, Characterization, ResilienceCounters, ShiftConfig};
+use shift_experiments::outcome_to_record;
+use shift_metrics::{
+    FleetSummary, FrameRecord, StreamSummary, FLEET_CSV_HEADER, STREAM_CSV_HEADER,
+};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, FaultPlan, FaultSpec, Platform};
+use shift_video::generator::{ScenarioGenerator, ScenarioLibrary, ScenarioSpec};
+use shift_video::Scenario;
+use std::sync::OnceLock;
+
+fn engine(seed: u64) -> ExecutionEngine {
+    ExecutionEngine::new(
+        Platform::xavier_nx_with_oak(),
+        ModelZoo::standard(),
+        ResponseModel::new(seed),
+    )
+}
+
+/// The shared offline characterization (built once for the whole suite).
+fn shared_characterization() -> &'static Characterization {
+    static SHARED: OnceLock<Characterization> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        characterize(
+            &engine(31),
+            &shift_video::CharacterizationDataset::generate(160, 31),
+        )
+    })
+}
+
+/// One fault preset from the PR-5 vocabulary, indexed deterministically.
+fn fault_spec_at(index: usize, horizon: u64) -> FaultSpec {
+    match index % 5 {
+        0 => FaultSpec::none(horizon),
+        1 => FaultSpec::dropout_storm(horizon),
+        2 => FaultSpec::thermal_brownout(horizon),
+        3 => FaultSpec::memory_crunch(horizon),
+        _ => FaultSpec::mixed(horizon),
+    }
+}
+
+/// Everything one fleet run produces that downstream consumers can observe.
+/// `PartialEq` + `Debug` make the differential assertion a single equality
+/// over the whole bundle, and the debug bytes give the bit-for-bit check.
+#[derive(Debug, Clone, PartialEq)]
+struct RunResult {
+    outcomes: Vec<FleetFrameOutcome>,
+    resilience: Vec<ResilienceCounters>,
+    makespan_s: f64,
+    load_count: u64,
+    csv: String,
+}
+
+/// Runs one fleet configuration to completion under `mode` and reduces it
+/// exactly the way the `repro -- fleet`/`stress` artifacts do.
+fn run_mode(
+    mode: ExecutionMode,
+    engine_seed: u64,
+    specs: Vec<StreamSpec>,
+    fairness: f64,
+    plan: Option<FaultPlan>,
+) -> RunResult {
+    let mut fleet = FleetRuntime::new(
+        engine(engine_seed),
+        shared_characterization(),
+        FleetConfig::default().with_fairness(fairness),
+        specs,
+    )
+    .expect("fleet construction");
+    if let Some(plan) = plan {
+        fleet = fleet.with_fault_plan(plan);
+    }
+    let mut fleet = fleet.with_execution_mode(mode);
+    let outcomes = fleet.run_to_completion().expect("fleet run");
+    let n = fleet.stream_count();
+    let mut records: Vec<Vec<FrameRecord>> = vec![Vec::new(); n];
+    let mut waits: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut latencies = Vec::with_capacity(outcomes.len());
+    for o in &outcomes {
+        records[o.stream].push(outcome_to_record(&o.outcome));
+        waits[o.stream].push(o.queue_wait_s);
+        latencies.push(o.outcome.latency_s);
+    }
+    let per_stream: Vec<StreamSummary> = (0..n)
+        .map(|i| {
+            StreamSummary::new(
+                fleet.stream_name(i),
+                fleet.stream_goal(i),
+                &records[i],
+                &waits[i],
+            )
+        })
+        .collect();
+    let summary = FleetSummary::from_streams(&per_stream, &latencies, fleet.makespan_s());
+    let mut csv = String::from(STREAM_CSV_HEADER);
+    csv.push('\n');
+    for stream in &per_stream {
+        csv.push_str(&stream.csv_row());
+        csv.push('\n');
+    }
+    csv.push_str(FLEET_CSV_HEADER);
+    csv.push('\n');
+    csv.push_str(&summary.csv_row());
+    csv.push('\n');
+    RunResult {
+        resilience: (0..n).map(|i| fleet.stream_resilience(i)).collect(),
+        makespan_s: fleet.makespan_s(),
+        load_count: fleet.engine().telemetry().load_count,
+        outcomes,
+        csv,
+    }
+}
+
+/// Asserts the two modes produce bit-identical results for one cell.
+fn assert_modes_identical(
+    label: &str,
+    engine_seed: u64,
+    specs: Vec<StreamSpec>,
+    fairness: f64,
+    plan: Option<FaultPlan>,
+) {
+    let lockstep = run_mode(
+        ExecutionMode::Lockstep,
+        engine_seed,
+        specs.clone(),
+        fairness,
+        plan.clone(),
+    );
+    let event_driven = run_mode(
+        ExecutionMode::EventDriven,
+        engine_seed,
+        specs,
+        fairness,
+        plan,
+    );
+    assert_eq!(lockstep, event_driven, "{label}: results diverge");
+    assert_eq!(
+        format!("{lockstep:?}").into_bytes(),
+        format!("{event_driven:?}").into_bytes(),
+        "{label}: debug serialization diverges"
+    );
+    assert_eq!(
+        lockstep.csv.as_bytes(),
+        event_driven.csv.as_bytes(),
+        "{label}: CSV bytes diverge"
+    );
+}
+
+/// Builds a small fleet of `streams` replicas of `spec`, `frames` frames
+/// each, with per-replica seeds so the streams genuinely differ.
+fn replica_specs(
+    generator: &ScenarioGenerator,
+    spec: &ScenarioSpec,
+    streams: usize,
+    frames: usize,
+) -> Vec<StreamSpec> {
+    (0..streams)
+        .map(|replica| {
+            let scenario = generator
+                .generate(spec, replica as u64)
+                .with_num_frames(frames);
+            let config = ShiftConfig::paper_defaults().with_accuracy_goal(spec.accuracy_goal);
+            StreamSpec::new(format!("{}-r{replica}", spec.name), scenario, config)
+        })
+        .collect()
+}
+
+/// The tentpole harness: the full PR-3 scenario library × PR-5 fault-preset
+/// grid, every cell run through both inner loops.
+#[test]
+fn scenario_library_times_fault_preset_grid_is_bit_identical_across_modes() {
+    let generator = ScenarioGenerator::new(2024);
+    let library = ScenarioLibrary::standard();
+    for (class_index, spec) in library.specs().iter().enumerate() {
+        for preset in 0..5 {
+            let streams = 2 + (class_index + preset) % 2; // fleets of 2-3
+            let frames = 18;
+            let specs = replica_specs(&generator, spec, streams, frames);
+            let horizon = (streams * frames) as u64;
+            let plan = FaultPlan::generate(40 + preset as u64, &fault_spec_at(preset, horizon));
+            // Vary fairness across the grid so both argmin regimes and the
+            // blended one are exercised.
+            let fairness = [1.0, 0.6, 0.0][(class_index + preset) % 3];
+            assert_modes_identical(
+                &format!("{} × preset {}", spec.name, preset),
+                7,
+                specs,
+                fairness,
+                Some(plan),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random `ScenarioSpec` × `FaultSpec` × fleet-size draws from the full
+    /// generator vocabulary: both paths must agree bit-for-bit everywhere,
+    /// not just on the curated library classes.
+    #[test]
+    fn random_scenario_fault_fleet_draws_are_bit_identical_across_modes(
+        scenario_seed in 0u64..10_000,
+        engine_seed in 0u64..1_000,
+        class_index in 0usize..8,
+        preset in 0usize..5,
+        fault_seed in 0u64..10_000,
+        streams in 1usize..4,
+        frames in 10usize..22,
+        fairness_index in 0usize..3,
+    ) {
+        let generator = ScenarioGenerator::new(scenario_seed);
+        let library = ScenarioLibrary::standard();
+        let spec = &library.specs()[class_index % library.specs().len()];
+        let specs = replica_specs(&generator, spec, streams, frames);
+        let horizon = (streams * frames) as u64;
+        let plan = FaultPlan::generate(fault_seed, &fault_spec_at(preset, horizon));
+        let fairness = [1.0, 0.5, 0.0][fairness_index];
+        assert_modes_identical(
+            &format!("{} seed {} × preset {} × {} streams", spec.name, scenario_seed, preset, streams),
+            engine_seed,
+            specs,
+            fairness,
+            Some(plan),
+        );
+    }
+}
+
+/// A fleet of one on the DES core runs frame-for-frame identically to the
+/// lockstep fleet of one (which `crates/core` already locks to
+/// `ShiftRuntime`), with and without a fault plan.
+#[test]
+fn fleet_of_one_is_bit_identical_across_modes() {
+    let specs = || {
+        vec![StreamSpec::new(
+            "solo",
+            Scenario::scenario_2().with_num_frames(40),
+            ShiftConfig::paper_defaults(),
+        )]
+    };
+    assert_modes_identical("fleet-of-one healthy", 5, specs(), 1.0, None);
+    let plan = FaultPlan::generate(3, &FaultSpec::mixed(40));
+    assert_modes_identical("fleet-of-one faulted", 5, specs(), 1.0, Some(plan));
+}
+
+/// The idle-stream regression (the O(active) property): in a 64-stream
+/// fleet where 60 streams have drained — i.e. are between frames forever —
+/// an event-driven step performs per-stream admission work only for the 4
+/// still-active streams, while a lockstep step still scans all 64. The
+/// `stream_polls` hook counts per-stream examinations exactly.
+#[test]
+fn idle_streams_cost_nothing_in_the_event_driven_loop() {
+    let build = |mode: ExecutionMode| {
+        let specs: Vec<StreamSpec> = (0..64)
+            .map(|i| {
+                // Streams 0-59 drain after 2 frames; streams 60-63 keep going.
+                let frames = if i < 60 { 2 } else { 20 };
+                StreamSpec::new(
+                    format!("cam{i:02}"),
+                    Scenario::scenario_3()
+                        .with_num_frames(frames)
+                        .with_seed(200 + i as u64),
+                    ShiftConfig::paper_defaults(),
+                )
+            })
+            .collect();
+        FleetRuntime::new(
+            engine(33),
+            shared_characterization(),
+            FleetConfig::round_robin(),
+            specs,
+        )
+        .unwrap()
+        .with_execution_mode(mode)
+    };
+    let measure = |mode: ExecutionMode| {
+        let mut fleet = build(mode);
+        // Drain the 60 short streams (round-robin keeps everyone within one
+        // frame of each other, so 64*2 steps retire all 2-frame streams).
+        for _ in 0..64 * 2 {
+            fleet.step().unwrap().expect("fleet not drained yet");
+        }
+        for i in 0..60 {
+            assert_eq!(fleet.frames_processed(i), 2, "stream {i} must be drained");
+        }
+        // Measure the admission work of the next 4 steps (one round of the
+        // remaining active streams).
+        let before = fleet.stream_polls();
+        for _ in 0..4 {
+            fleet.step().unwrap().expect("active streams remain");
+        }
+        fleet.stream_polls() - before
+    };
+    assert_eq!(
+        measure(ExecutionMode::Lockstep),
+        4 * 64,
+        "lockstep scans the whole fleet every step"
+    );
+    assert_eq!(
+        measure(ExecutionMode::EventDriven),
+        4 * 4,
+        "event-driven admission examines only the active streams"
+    );
+}

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use shift_baselines::{MarlinConfig, OracleObjective};
-use shift_core::fleet::{FleetConfig, FleetRuntime};
-use shift_core::{characterize, ShiftConfig, ShiftRuntime};
+use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::{characterize, ExecutionMode, ShiftConfig, ShiftRuntime};
 use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
 use shift_metrics::{FLEET_CSV_HEADER, STREAM_CSV_HEADER};
@@ -122,6 +122,98 @@ fn golden_serialized_output_is_byte_identical_across_runs() {
     assert!(
         csv_a.lines().count() == 3 + 3,
         "3 stream rows + 2 headers + 1 fleet row"
+    );
+}
+
+/// Golden coverage for the DES refactor, part 1: a fleet of one on the
+/// discrete-event core (and on the retained lockstep oracle) reproduces the
+/// single-stream [`ShiftRuntime`] frame-for-frame, byte-for-byte — the
+/// "fleet-of-one path" contract that lets `ShiftRuntime` stay the simple
+/// special case while the fleet owns the event machinery.
+#[test]
+fn fleet_of_one_on_the_des_core_is_bit_identical_to_shift_runtime() {
+    let ctx = ExperimentContext::quick(77);
+    let scenario = ctx.scaled(Scenario::scenario_3());
+    let mut runtime = ShiftRuntime::new(ctx.engine(), ctx.characterization(), paper_shift_config())
+        .expect("runtime builds");
+    let single = runtime.run(scenario.stream()).expect("run completes");
+    let single_bytes = format!("{single:?}").into_bytes();
+    for mode in [ExecutionMode::EventDriven, ExecutionMode::Lockstep] {
+        let specs = vec![StreamSpec::new(
+            "solo",
+            scenario.clone(),
+            paper_shift_config(),
+        )];
+        let mut fleet = FleetRuntime::new(
+            ctx.engine(),
+            ctx.characterization(),
+            FleetConfig::round_robin(),
+            specs,
+        )
+        .expect("fleet builds")
+        .with_execution_mode(mode);
+        let outcomes = fleet.run_to_completion().expect("fleet completes");
+        assert_eq!(outcomes.len(), single.len());
+        for o in &outcomes {
+            assert_eq!(o.queue_wait_s, 0.0, "a fleet of one never self-contends");
+        }
+        let frames: Vec<_> = outcomes.into_iter().map(|o| o.outcome).collect();
+        assert_eq!(
+            format!("{frames:?}").into_bytes(),
+            single_bytes,
+            "{mode:?} fleet-of-one must serialize identically to ShiftRuntime"
+        );
+    }
+}
+
+/// Golden coverage for the DES refactor, part 2: the `repro -- fleet`,
+/// `repro -- stress` and `repro -- chaos` artifact bytes are unchanged by
+/// the refactor — the event-driven default and the pre-DES lockstep loop
+/// (`--lockstep`) render byte-identical artifacts, at a parallel jobs count
+/// for good measure. (Chaos is single-stream and must be mode-blind;
+/// fleet/stress genuinely exercise both inner loops.)
+#[test]
+fn des_refactor_leaves_fleet_stress_chaos_artifact_bytes_unchanged() {
+    use shift_experiments::chaos::{self, ChaosOptions};
+    use shift_experiments::stress::{self, StressOptions};
+    let ctx_for = |mode: ExecutionMode| {
+        ExperimentContext::quick(91)
+            .with_jobs(2)
+            .with_execution_mode(mode)
+    };
+    let fleet_csv = |mode: ExecutionMode| {
+        let point = shift_experiments::fleet::run_fleet(&ctx_for(mode), 3).expect("fleet runs");
+        let mut csv = String::from(STREAM_CSV_HEADER);
+        csv.push('\n');
+        for stream in &point.per_stream {
+            csv.push_str(&stream.csv_row());
+            csv.push('\n');
+        }
+        csv.push_str(FLEET_CSV_HEADER);
+        csv.push('\n');
+        csv.push_str(&point.fleet.csv_row());
+        csv
+    };
+    assert_eq!(
+        fleet_csv(ExecutionMode::EventDriven).into_bytes(),
+        fleet_csv(ExecutionMode::Lockstep).into_bytes(),
+        "fleet artifact bytes must be unchanged by the DES refactor"
+    );
+    let stress_csv = |mode: ExecutionMode| {
+        stress::summary_csv(&ctx_for(mode), &StressOptions::smoke()).expect("stress summary")
+    };
+    assert_eq!(
+        stress_csv(ExecutionMode::EventDriven).into_bytes(),
+        stress_csv(ExecutionMode::Lockstep).into_bytes(),
+        "stress artifact bytes must be unchanged by the DES refactor"
+    );
+    let chaos_csv = |mode: ExecutionMode| {
+        chaos::summary_csv(&ctx_for(mode), &ChaosOptions::smoke()).expect("chaos summary")
+    };
+    assert_eq!(
+        chaos_csv(ExecutionMode::EventDriven).into_bytes(),
+        chaos_csv(ExecutionMode::Lockstep).into_bytes(),
+        "chaos artifact bytes must be unchanged by the DES refactor"
     );
 }
 
