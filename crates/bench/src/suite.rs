@@ -6,7 +6,7 @@
 //! [`TimingRow`], which [`snapshot`](crate::snapshot) serializes to
 //! `BENCH_micro.json` and [`compare`](crate::compare) gates in CI.
 //!
-//! The five benches mirror the operations the paper's "< 2 ms/frame
+//! The benches mirror the operations the paper's "< 2 ms/frame
 //! decision overhead" claim decomposes into, plus the two shared-resource
 //! paths the fleet runtime added:
 //!
@@ -15,6 +15,8 @@
 //! | `confidence_graph/predict` | the per-frame accuracy map lookup |
 //! | `scheduler/argmax` | the full Algorithm 1 re-scheduling pass |
 //! | `ncc/context_detect` | the NCC context-similarity computation |
+//! | `ncc/region` | the bbox-crop NCC through the reusable region scratch |
+//! | `similarity/frame` | the stateless full-frame + crop similarity helper |
 //! | `loader/lru_churn` | an LRU load + eviction cycle under memory pressure |
 //! | `fleet/step` | one shared-SoC fleet scheduling step (3 streams) |
 
@@ -32,10 +34,12 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// The suite's bench names, in run order. Stable: the CI gate keys on them.
-pub const BENCH_NAMES: [&str; 5] = [
+pub const BENCH_NAMES: [&str; 7] = [
     "confidence_graph/predict",
     "scheduler/argmax",
     "ncc/context_detect",
+    "ncc/region",
+    "similarity/frame",
     "loader/lru_churn",
     "fleet/step",
 ];
@@ -133,6 +137,32 @@ pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
         black_box(detector.similarity(&frames[1], frames[1].truth.as_ref()));
     }));
 
+    // ncc/region — the bbox-crop NCC alone, through the reusable scratch
+    // (fused crop + 16x16 resize, no per-call allocation).
+    let prev_bbox = frames[0].truth.expect("scenario 1 has ground truth");
+    let cur_bbox = frames[1].truth.expect("scenario 1 has ground truth");
+    let mut region = shift_video::RegionNcc::new();
+    rows.push(measure(BENCH_NAMES[3], options, || {
+        black_box(region.ncc_regions(
+            &frames[0].image,
+            black_box(&prev_bbox),
+            &frames[1].image,
+            black_box(&cur_bbox),
+        ));
+    }));
+
+    // similarity/frame — the stateless convenience helper (full-frame NCC +
+    // allocating region path), the cost a caller pays without the detector's
+    // scratch reuse.
+    rows.push(measure(BENCH_NAMES[4], options, || {
+        black_box(shift_video::frame_similarity(
+            &frames[0].image,
+            black_box(&prev_bbox),
+            &frames[1].image,
+            black_box(&cur_bbox),
+        ));
+    }));
+
     // loader/lru_churn — cycling four large models through the 1536 MB GPU
     // pool; the cycle does not fit, so steady state is one eviction + one
     // load per call.
@@ -145,7 +175,7 @@ pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
         ModelId::YoloV7,
     ];
     let mut next = 0usize;
-    rows.push(measure(BENCH_NAMES[3], options, || {
+    rows.push(measure(BENCH_NAMES[5], options, || {
         let model = churn[next % churn.len()];
         next += 1;
         black_box(
@@ -183,7 +213,7 @@ pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
         .expect("bench fleet builds")
     };
     let mut fleet = build_fleet();
-    rows.push(measure(BENCH_NAMES[4], options, || {
+    rows.push(measure(BENCH_NAMES[6], options, || {
         if fleet.is_done() {
             fleet = build_fleet();
         }

@@ -7,10 +7,17 @@
 //! stream changed significantly and the current model choice should be
 //! reconsidered.
 
-use shift_video::{ncc, ncc_regions, BoundingBox, Frame, GrayImage};
+use shift_video::{ncc, BoundingBox, Frame, GrayImage, RegionNcc};
 
 /// Tracks the previous frame and detection and produces the similarity score
 /// used by the scheduler's "keep the current model" gate.
+///
+/// The detector holds the previous frame through [`GrayImage`]'s shared
+/// (`Arc`-backed) pixel buffer, so [`update`](Self::update) is O(1) instead
+/// of a deep per-frame copy, and the image's cached NCC moments stay warm
+/// across the two frames each one participates in. The bounding-box term
+/// runs through a reusable [`RegionNcc`] scratch, which is why
+/// [`similarity`](Self::similarity) takes `&mut self`.
 ///
 /// ```
 /// use shift_core::ContextDetector;
@@ -31,6 +38,7 @@ use shift_video::{ncc, ncc_regions, BoundingBox, Frame, GrayImage};
 pub struct ContextDetector {
     last_image: Option<GrayImage>,
     last_bbox: Option<BoundingBox>,
+    region: RegionNcc,
 }
 
 impl ContextDetector {
@@ -45,20 +53,46 @@ impl ContextDetector {
     /// Returns `0.0` when there is no history yet (first frame) or when
     /// either the previous or current detection is missing — both situations
     /// should trigger a scheduling pass.
-    pub fn similarity(&self, frame: &Frame, bbox: Option<&BoundingBox>) -> f64 {
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when `frame`'s dimensions differ from the
+    /// remembered frame's. A stream's dimensions never legitimately change
+    /// mid-video, so a mismatch is always a wiring bug in the driver; in
+    /// release builds the NCC term falls back to `0.0`, which keeps the
+    /// pipeline running but reads as a *permanent* scene cut — a full
+    /// re-scheduling pass every frame, thrashing the shared loader — which
+    /// is exactly why the bug is surfaced loudly here instead.
+    pub fn similarity(&mut self, frame: &Frame, bbox: Option<&BoundingBox>) -> f64 {
         let Some(last_image) = &self.last_image else {
             return 0.0;
         };
+        debug_assert!(
+            last_image.width() == frame.image.width()
+                && last_image.height() == frame.image.height(),
+            "frame dimensions changed mid-stream ({}x{} -> {}x{}): \
+             the context detector is wired to the wrong stream",
+            last_image.width(),
+            last_image.height(),
+            frame.image.width(),
+            frame.image.height(),
+        );
         let image_ncc = ncc(last_image, &frame.image).unwrap_or(0.0);
         let bbox_ncc = match (&self.last_bbox, bbox) {
-            (Some(prev), Some(current)) => ncc_regions(last_image, prev, &frame.image, current),
+            (Some(prev), Some(current)) => {
+                self.region
+                    .ncc_regions(last_image, prev, &frame.image, current)
+            }
             _ => 0.0,
         };
-        image_ncc.min(bbox_ncc).clamp(-1.0, 1.0)
+        // Both terms are clamped to [-1, 1] at the source (`ncc` clamps its
+        // quotient; the degenerate and missing-box cases yield 0 or 1), an
+        // invariant locked by the fast-path property suite — no re-clamp.
+        image_ncc.min(bbox_ncc)
     }
 
     /// Remembers `frame` and the detection produced on it for the next
-    /// similarity query.
+    /// similarity query. O(1): the pixel buffer is shared, not copied.
     pub fn update(&mut self, frame: &Frame, bbox: Option<&BoundingBox>) {
         self.last_image = Some(frame.image.clone());
         self.last_bbox = bbox.copied();
@@ -84,7 +118,7 @@ mod tests {
     #[test]
     fn first_frame_has_zero_similarity() {
         let frame = Scenario::scenario_3().stream().next().unwrap();
-        let detector = ContextDetector::new();
+        let mut detector = ContextDetector::new();
         assert_eq!(detector.similarity(&frame, frame.truth.as_ref()), 0.0);
         assert!(!detector.has_history());
     }
@@ -145,6 +179,33 @@ mod tests {
         detector.reset();
         assert!(!detector.has_history());
         assert_eq!(detector.similarity(&frame, frame.truth.as_ref()), 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dimensions changed mid-stream")]
+    fn mismatched_frame_dimensions_panic_in_debug() {
+        // A stream's dimensions never legitimately change; feeding a
+        // detector frames of two different sizes is a wiring bug that the
+        // debug assertion at this boundary must surface (release builds
+        // fall back to similarity 0.0 — a permanent scene cut — instead of
+        // silently masking the `DimensionMismatch`).
+        use shift_video::{FrameContext, GrayImage};
+        let small = Frame {
+            index: 0,
+            image: GrayImage::new(16, 16),
+            truth: None,
+            context: FrameContext::easy(),
+        };
+        let large = Frame {
+            index: 1,
+            image: GrayImage::new(32, 32),
+            truth: None,
+            context: FrameContext::easy(),
+        };
+        let mut detector = ContextDetector::new();
+        detector.update(&small, None);
+        let _ = detector.similarity(&large, None);
     }
 
     #[test]

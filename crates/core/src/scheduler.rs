@@ -67,41 +67,85 @@ impl Decision {
     /// deterministic), then `incumbent`, with the decided pair and
     /// duplicates removed. Both the single-stream runtime and the fleet walk
     /// exactly this order, so their degradation behaviour cannot diverge.
+    ///
+    /// Runs on every degrade step of a fault walk, so it makes exactly one
+    /// allocation: the returned vector, sorted and deduplicated in place.
+    /// `scores` must list each pair at most once (as `force_reschedule`
+    /// produces); the score lookup in the sort and the first-kept-wins dedup
+    /// both rely on it.
     pub fn fallback_candidates(&self, incumbent: CandidatePair) -> Vec<CandidatePair> {
-        let mut scored = self.scores.clone();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
+        debug_assert!(
+            self.scores
+                .iter()
+                .enumerate()
+                .all(|(i, (p, _))| self.scores[..i].iter().all(|(q, _)| q != p)),
+            "Decision::scores must contain each pair at most once"
+        );
+        let score_of = |pair: &CandidatePair| -> f64 {
+            self.scores
+                .iter()
+                .find(|(p, _)| p == pair)
+                .map(|&(_, s)| s)
+                .expect("pair came from scores")
+        };
+        let mut candidates: Vec<CandidatePair> = Vec::with_capacity(self.scores.len() + 1);
+        candidates.extend(self.scores.iter().map(|&(pair, _)| pair));
+        candidates.sort_by(|a, b| {
+            score_of(b)
+                .partial_cmp(&score_of(a))
                 .expect("scores are finite")
-                .then(a.0.cmp(&b.0))
+                .then(a.cmp(b))
         });
-        let mut candidates: Vec<CandidatePair> = scored.iter().map(|&(pair, _)| pair).collect();
         candidates.push(incumbent);
-        let mut seen = vec![self.pair];
-        candidates.retain(|pair| {
-            let fresh = !seen.contains(pair);
-            seen.push(*pair);
-            fresh
-        });
+        let mut kept = 0;
+        for i in 0..candidates.len() {
+            let pair = candidates[i];
+            if pair == self.pair || candidates[..kept].contains(&pair) {
+                continue;
+            }
+            candidates[kept] = pair;
+            kept += 1;
+        }
+        candidates.truncate(kept);
         candidates
     }
 }
 
 /// The SHIFT scheduler: owns the confidence graph, the normalized
 /// energy/latency traits and the per-model momentum buffers.
+///
+/// All per-pair and per-model state lives in dense arrays indexed in lockstep
+/// (`pairs[i]` executes `models[pair_model[i]]` with traits `energy_score[i]`
+/// / `latency_score[i]`), so the per-frame Algorithm 1 pass is a single
+/// allocation-free sweep with no map lookups.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     config: ShiftConfig,
     graph: ConfidenceGraph,
     pairs: Vec<CandidatePair>,
-    /// Normalized, inverted energy score per pair (1 = most efficient).
-    energy_score: BTreeMap<CandidatePair, f64>,
-    /// Normalized, inverted latency score per pair (1 = fastest).
-    latency_score: BTreeMap<CandidatePair, f64>,
+    /// Models in sorted order; all `*_model` indices point into this.
+    models: Vec<ModelId>,
+    /// Index into `models` of each pair's model, aligned with `pairs`.
+    pair_model: Vec<usize>,
+    /// Normalized, inverted energy score per pair (1 = most efficient),
+    /// aligned with `pairs`.
+    energy_score: Vec<f64>,
+    /// Normalized, inverted latency score per pair (1 = fastest), aligned
+    /// with `pairs`.
+    latency_score: Vec<f64>,
+    /// Whether a later same-model pair always scores at least as high, so the
+    /// arg-max sweep can skip this one (see `dominated_pairs`). Aligned with
+    /// `pairs`.
+    pair_dominated: Vec<bool>,
     /// Fallback accuracy per model (characterized mean IoU), used before the
-    /// momentum buffer has any graph predictions.
-    fallback_accuracy: BTreeMap<ModelId, f64>,
-    /// Momentum buffers of recent accuracy predictions per model.
-    buffers: BTreeMap<ModelId, VecDeque<f64>>,
+    /// momentum buffer has any graph predictions. Aligned with `models`.
+    model_fallback: Vec<f64>,
+    /// Momentum buffers of recent accuracy predictions, aligned with `models`.
+    buffers: Vec<VecDeque<f64>>,
+    /// Scratch: momentum-averaged accuracy per model, aligned with `models`.
+    averaged: Vec<f64>,
+    /// Scratch: accuracy-goal filter result per model, aligned with `models`.
+    valid: Vec<bool>,
     /// Count of full re-scheduling passes performed.
     reschedule_count: u64,
 }
@@ -137,18 +181,44 @@ impl Scheduler {
         if pairs.is_empty() {
             return Err(crate::ShiftError::NoCandidatePairs);
         }
-        let energy_score = normalize_inverted(&energy_raw);
-        let latency_score = normalize_inverted(&latency_raw);
+        let energy_map = normalize_inverted(&energy_raw);
+        let latency_map = normalize_inverted(&latency_raw);
+        let energy_score: Vec<f64> = pairs.iter().map(|pair| energy_map[pair]).collect();
+        let latency_score: Vec<f64> = pairs.iter().map(|pair| latency_map[pair]).collect();
+        let models: Vec<ModelId> = fallback_accuracy.keys().copied().collect();
+        let model_fallback: Vec<f64> = fallback_accuracy.values().copied().collect();
+        let pair_model: Vec<usize> = pairs
+            .iter()
+            .map(|pair| {
+                models
+                    .binary_search(&pair.model)
+                    .expect("every pair's model is characterized")
+            })
+            .collect();
+        let pair_dominated =
+            dominated_pairs(&pairs, &pair_model, &energy_score, &latency_score, &config);
+        let n_models = models.len();
         Ok(Self {
             config,
             graph,
             pairs,
+            models,
+            pair_model,
             energy_score,
             latency_score,
-            fallback_accuracy,
-            buffers: BTreeMap::new(),
+            pair_dominated,
+            model_fallback,
+            buffers: vec![VecDeque::new(); n_models],
+            averaged: vec![0.0; n_models],
+            valid: vec![false; n_models],
             reschedule_count: 0,
         })
+    }
+
+    /// Index of `model` in the dense `models`/`model_fallback`/`buffers`
+    /// arrays, or `None` for an uncharacterized model.
+    fn model_index(&self, model: ModelId) -> Option<usize> {
+        self.models.binary_search(&model).ok()
     }
 
     /// The configuration the scheduler was built with.
@@ -175,20 +245,22 @@ impl Scheduler {
     /// most efficient candidate), or `None` for a pair outside the candidate
     /// set.
     pub fn energy_score_of(&self, pair: CandidatePair) -> Option<f64> {
-        self.energy_score.get(&pair).copied()
+        let i = self.pairs.iter().position(|&p| p == pair)?;
+        Some(self.energy_score[i])
     }
 
     /// Normalized, inverted latency score of `pair` in `[0, 1]` (1 marks the
     /// fastest candidate), or `None` for a pair outside the candidate set.
     pub fn latency_score_of(&self, pair: CandidatePair) -> Option<f64> {
-        self.latency_score.get(&pair).copied()
+        let i = self.pairs.iter().position(|&p| p == pair)?;
+        Some(self.latency_score[i])
     }
 
     /// The characterized reference accuracy (mean IoU) of `model`: the value
     /// the scheduler falls back to when the confidence graph reaches no
     /// prediction for the model within the distance threshold.
     pub fn reference_accuracy(&self, model: ModelId) -> Option<f64> {
-        self.fallback_accuracy.get(&model).copied()
+        Some(self.model_fallback[self.model_index(model)?])
     }
 
     /// A reasonable initial pair: the most accurate model, placed on its most
@@ -196,16 +268,12 @@ impl Scheduler {
     /// from the strongest detector before any context is known).
     pub fn initial_pair(&self) -> CandidatePair {
         let mut best: Option<(f64, CandidatePair)> = None;
-        for pair in &self.pairs {
-            let accuracy = self
-                .fallback_accuracy
-                .get(&pair.model)
-                .copied()
-                .unwrap_or(0.0);
-            let efficiency = self.energy_score.get(pair).copied().unwrap_or(0.0);
+        for (i, &pair) in self.pairs.iter().enumerate() {
+            let accuracy = self.model_fallback[self.pair_model[i]];
+            let efficiency = self.energy_score[i];
             let key = accuracy + 1e-3 * efficiency;
             if best.is_none_or(|(k, _)| key > k) {
-                best = Some((key, *pair));
+                best = Some((key, pair));
             }
         }
         best.expect("constructor guarantees at least one pair").1
@@ -255,58 +323,72 @@ impl Scheduler {
         let predictions = self.graph.predict(current.model, confidence);
 
         // Lines 11-14: push predictions into the momentum buffers and average.
+        // (Predictions for uncharacterized models, which the average below
+        // would never read, are dropped instead of buffered.)
         for prediction in &predictions {
-            let buffer = self.buffers.entry(prediction.model).or_default();
+            let Some(i) = self.model_index(prediction.model) else {
+                continue;
+            };
+            let buffer = &mut self.buffers[i];
             buffer.push_back(prediction.accuracy);
             while buffer.len() > self.config.momentum {
                 buffer.pop_front();
             }
         }
-        let mut averaged: BTreeMap<ModelId, f64> = BTreeMap::new();
-        for (&model, fallback) in &self.fallback_accuracy {
-            let value = match self.buffers.get(&model) {
-                Some(buffer) if !buffer.is_empty() => {
-                    buffer.iter().sum::<f64>() / buffer.len() as f64
-                }
-                _ => *fallback,
+        for (i, &fallback) in self.model_fallback.iter().enumerate() {
+            let buffer = &self.buffers[i];
+            self.averaged[i] = if buffer.is_empty() {
+                fallback
+            } else {
+                buffer.iter().sum::<f64>() / buffer.len() as f64
             };
-            averaged.insert(model, value);
         }
 
         // Lines 15-18: keep models meeting the accuracy goal; if none do,
         // consider every model.
-        let mut valid: Vec<ModelId> = averaged
-            .iter()
-            .filter(|(_, &a)| a >= self.config.accuracy_goal)
-            .map(|(&m, _)| m)
-            .collect();
-        if valid.is_empty() {
-            valid = averaged.keys().copied().collect();
+        let mut any_valid = false;
+        for (i, &averaged) in self.averaged.iter().enumerate() {
+            let valid = averaged >= self.config.accuracy_goal;
+            self.valid[i] = valid;
+            any_valid |= valid;
+        }
+        if !any_valid {
+            self.valid.fill(true);
         }
 
-        // Lines 19-23: score candidate pairs and take the maximum.
+        // Lines 19-23: score candidate pairs and take the maximum in the same
+        // sweep. Every surviving pair is scored and recorded — downstream
+        // fault-degrade walks consume the full `scores` list — but pairs
+        // marked dominated are skipped by the max tracking: a later
+        // same-model pair always scores at least as high (see
+        // `dominated_pairs` for why that preserves the arg-max bit-for-bit).
         let knobs = self.config.knobs;
-        let mut scores: Vec<(CandidatePair, f64)> = Vec::new();
-        for pair in &self.pairs {
-            if !valid.contains(&pair.model) {
+        let mut scores: Vec<(CandidatePair, f64)> = Vec::with_capacity(self.pairs.len());
+        let mut best: Option<(CandidatePair, f64)> = None;
+        let mut current_score: Option<f64> = None;
+        for (i, &pair) in self.pairs.iter().enumerate() {
+            if !self.valid[self.pair_model[i]] {
                 continue;
             }
-            let accuracy = averaged.get(&pair.model).copied().unwrap_or(0.0);
-            let energy = self.energy_score.get(pair).copied().unwrap_or(0.0);
-            let latency = self.latency_score.get(pair).copied().unwrap_or(0.0);
+            let accuracy = self.averaged[self.pair_model[i]];
+            let energy = self.energy_score[i];
+            let latency = self.latency_score[i];
             let score = accuracy * knobs.accuracy + energy * knobs.energy + latency * knobs.latency;
-            scores.push((*pair, score));
+            scores.push((pair, score));
+            if current_score.is_none() && pair == current {
+                current_score = Some(score);
+            }
+            if !self.pair_dominated[i] {
+                // `>=` mirrors `max_by`, which keeps the *last* of equal
+                // maxima.
+                match best {
+                    Some((_, best_score)) if score < best_score => {}
+                    _ => best = Some((pair, score)),
+                }
+            }
         }
-        let best = scores
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
-            .copied()
-            .unwrap_or((current, 0.0));
+        let best = best.unwrap_or((current, 0.0));
         // Hysteresis: keep the incumbent unless the challenger clearly wins.
-        let current_score = scores
-            .iter()
-            .find(|(pair, _)| *pair == current)
-            .map(|(_, score)| *score);
         let pair = match current_score {
             Some(incumbent)
                 if best.0 != current && best.1 <= incumbent * (1.0 + self.config.switch_margin) =>
@@ -326,8 +408,55 @@ impl Scheduler {
     /// Clears the momentum buffers (used between scenario runs so history
     /// from one video does not leak into the next).
     pub fn reset_buffers(&mut self) {
-        self.buffers.clear();
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
     }
+}
+
+/// Marks the candidate pairs the arg-max sweep can skip without changing its
+/// result: pair `i` is dominated when some *later* pair `j` runs the same
+/// model with `energy_score[j] >= energy_score[i]` and `latency_score[j] >=
+/// latency_score[i]`.
+///
+/// Skipping dominated pairs is bit-exact, not just approximately right:
+///
+/// * Same model means the accuracy term `averaged * knobs.accuracy` is the
+///   same f64 for both pairs in every future pass, whatever the momentum
+///   buffers hold.
+/// * With non-negative energy/latency knobs, `x * knob` and `sum + term` are
+///   monotone under IEEE-754 round-to-nearest, so term-by-term dominance
+///   carries through the left-to-right score expression:
+///   `score[j] >= score[i]` as computed, including any rounding.
+/// * The sweep keeps the *last* of equal maxima (matching
+///   `Iterator::max_by`). The winning index can therefore never be a
+///   dominated pair: its dominator scores at least as high *and* comes
+///   later, so it would have won instead.
+///
+/// Negative knobs flip the monotonicity, so pruning is disabled (all
+/// `false`) unless both weight knobs are non-negative. ([`crate::config::Knobs::new`]
+/// clamps negatives away, but the fields are public, so this is checked
+/// rather than assumed. The accuracy knob's sign is irrelevant: same-model
+/// pairs share the accuracy term exactly.)
+fn dominated_pairs(
+    pairs: &[CandidatePair],
+    pair_model: &[usize],
+    energy_score: &[f64],
+    latency_score: &[f64],
+    config: &ShiftConfig,
+) -> Vec<bool> {
+    let mut dominated = vec![false; pairs.len()];
+    if !(config.knobs.energy >= 0.0 && config.knobs.latency >= 0.0) {
+        return dominated;
+    }
+    for i in 0..pairs.len() {
+        dominated[i] = (i + 1..pairs.len()).any(|j| {
+            pair_model[j] == pair_model[i]
+                && energy_score[j] >= energy_score[i]
+                && latency_score[j] >= latency_score[i]
+        });
+    }
+    dominated
 }
 
 /// Normalizes raw (smaller-is-better) values to `[0, 1]` and inverts them so
@@ -438,7 +567,7 @@ mod tests {
         let energy_pick = energy_sched.schedule(current, 0.8, 0.0);
         let accuracy_pick = accuracy_sched.schedule(current, 0.8, 0.0);
         let energy_of =
-            |pair: &CandidatePair, s: &Scheduler| s.energy_score.get(pair).copied().unwrap_or(0.0);
+            |pair: &CandidatePair, s: &Scheduler| s.energy_score_of(*pair).unwrap_or(0.0);
         assert!(
             energy_of(&energy_pick.pair, &energy_sched)
                 >= energy_of(&accuracy_pick.pair, &accuracy_sched),
@@ -477,11 +606,11 @@ mod tests {
         for _ in 0..50 {
             scheduler.schedule(current, 0.6, 0.0);
         }
-        for buffer in scheduler.buffers.values() {
+        for buffer in &scheduler.buffers {
             assert!(buffer.len() <= 5);
         }
         scheduler.reset_buffers();
-        assert!(scheduler.buffers.is_empty());
+        assert!(scheduler.buffers.iter().all(|b| b.is_empty()));
     }
 
     #[test]
@@ -531,5 +660,69 @@ mod tests {
     fn decision_display_types() {
         let pair = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Dla0);
         assert_eq!(pair.to_string(), "YoloV7 on DLA0");
+    }
+
+    #[test]
+    fn fallback_order_with_duplicated_incumbent() {
+        // The exact degrade sequence both runtimes walk: scored pairs sorted
+        // by descending score with ties broken on the pair ordering, then the
+        // incumbent, minus the decided pair and duplicates. Here the
+        // incumbent `a` is *also* a scored candidate, so it must appear once,
+        // at its scored rank — not again at the tail.
+        let a = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        let b = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Dla0);
+        let c = CandidatePair::new(ModelId::YoloV7Tiny, AcceleratorId::Gpu);
+        let d = CandidatePair::new(ModelId::YoloV7Tiny, AcceleratorId::Dla0);
+        let decision = Decision {
+            pair: b,
+            rescheduled: true,
+            similarity: 0.1,
+            scores: vec![(a, 0.4), (b, 0.9), (c, 0.4), (d, 0.2)],
+        };
+        // Rank: b(0.9) removed as the decided pair; a and c tie at 0.4 and
+        // break on pair order (YoloV7 < YoloV7Tiny); d(0.2) last.
+        assert_eq!(decision.fallback_candidates(a), vec![a, c, d]);
+        // An unscored incumbent lands at the tail instead.
+        let e = CandidatePair::new(ModelId::SsdResnet50, AcceleratorId::Gpu);
+        assert_eq!(decision.fallback_candidates(e), vec![a, c, d, e]);
+    }
+
+    #[test]
+    fn fallback_of_gated_decision_is_just_the_incumbent() {
+        let a = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        let b = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Dla0);
+        let decision = Decision {
+            pair: a,
+            rescheduled: false,
+            similarity: 0.99,
+            scores: Vec::new(),
+        };
+        assert_eq!(decision.fallback_candidates(b), vec![b]);
+        assert!(decision.fallback_candidates(a).is_empty());
+    }
+
+    #[test]
+    fn dominated_pairs_never_win_the_argmax() {
+        // Whatever the dominance precomputation marks, the pair force_reschedule
+        // picks must never be one of them — that is the whole safety argument.
+        let mut scheduler = build_scheduler(ShiftConfig::paper_defaults());
+        assert!(
+            scheduler.pair_dominated.iter().any(|&d| d),
+            "paper-default traits should admit at least one dominated pair"
+        );
+        let current = CandidatePair::new(ModelId::YoloV7, AcceleratorId::Gpu);
+        for confidence in [0.0, 0.3, 0.6, 0.9] {
+            let decision = scheduler.force_reschedule(current, confidence, 0.0);
+            let winner = scheduler
+                .pairs
+                .iter()
+                .position(|&p| p == decision.pair)
+                .expect("decided pair is a candidate");
+            assert!(
+                !scheduler.pair_dominated[winner] || decision.pair == current,
+                "a dominated pair won the arg-max: {}",
+                decision.pair
+            );
+        }
     }
 }

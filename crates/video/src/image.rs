@@ -10,8 +10,27 @@
 
 use crate::bbox::BoundingBox;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// The lazily computed per-image statistics consumed by the NCC hot path:
+/// the mean and the centered squared norm `Σ (v − mean)²`, both accumulated
+/// left-to-right in row-major order. Keeping that accumulation order is what
+/// lets the single-pass [`crate::ncc`] stay bit-identical to the historical
+/// three-pass formulation: each surviving accumulator sees exactly the same
+/// operand sequence it did before, only computed once per image instead of
+/// once per correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Moments {
+    mean: f64,
+    centered_norm: f64,
+}
 
 /// A row-major grayscale image with `f32` pixel intensities in `[0, 1]`.
+///
+/// The pixel buffer is shared (`Arc`), so cloning an image — e.g. the
+/// context detector remembering the previous frame — is O(1) and keeps the
+/// moment cache warm; mutation goes copy-on-write through
+/// [`set`](Self::set).
 ///
 /// ```
 /// use shift_video::GrayImage;
@@ -20,11 +39,23 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(img.get(3, 3), 0.75);
 /// assert!((img.mean() - 0.375).abs() < 1e-6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GrayImage {
     width: usize,
     height: usize,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
+    /// Lazy moment cache, shared with clones of this image. A mutation
+    /// replaces (or clears) the cell, so stale moments can never leak across
+    /// copy-on-write boundaries.
+    moments: Arc<OnceLock<Moments>>,
+}
+
+impl PartialEq for GrayImage {
+    fn eq(&self, other: &Self) -> bool {
+        // The moment cache is derived state: two images are equal iff their
+        // geometry and pixels are.
+        self.width == other.width && self.height == other.height && self.data == other.data
+    }
 }
 
 impl GrayImage {
@@ -38,16 +69,18 @@ impl GrayImage {
         Self {
             width,
             height,
-            data: vec![0.0; width * height],
+            data: Arc::new(vec![0.0; width * height]),
+            moments: Arc::new(OnceLock::new()),
         }
     }
 
     /// Creates an image by evaluating `f(x, y)` at every pixel.
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(width: usize, height: usize, mut f: F) -> Self {
         let mut img = GrayImage::new(width, height);
+        let data = img.pixels_mut();
         for y in 0..height {
             for x in 0..width {
-                img.data[y * width + x] = f(x, y);
+                data[y * width + x] = f(x, y);
             }
         }
         img
@@ -91,7 +124,25 @@ impl GrayImage {
     /// Panics if the coordinates are out of bounds.
     pub fn set(&mut self, x: usize, y: usize, value: f32) {
         assert!(x < self.width && y < self.height, "pixel out of bounds");
-        self.data[y * self.width + x] = value.clamp(0.0, 1.0);
+        let width = self.width;
+        self.pixels_mut()[y * width + x] = value.clamp(0.0, 1.0);
+    }
+
+    /// Mutable access to the pixel buffer: unshares it (copy-on-write) and
+    /// invalidates the moment cache, since the caller is about to change
+    /// pixel values.
+    pub(crate) fn pixels_mut(&mut self) -> &mut [f32] {
+        match Arc::get_mut(&mut self.moments) {
+            // Uniquely owned cache: clearing in place avoids an allocation
+            // per mutation (`set` is called per pixel by the renderer).
+            Some(cell) => {
+                cell.take();
+            }
+            // The cache is shared with a clone whose pixels stay unchanged;
+            // it keeps the old cell, this image starts a fresh one.
+            None => self.moments = Arc::new(OnceLock::new()),
+        }
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
     /// Borrow of the raw pixel buffer in row-major order.
@@ -99,12 +150,44 @@ impl GrayImage {
         &self.data
     }
 
+    /// The cached moments, computing them on first use. Both accumulations
+    /// run left-to-right over the row-major buffer — the exact operand order
+    /// the NCC and variance paths historically used — so every downstream
+    /// consumer keeps bit-identical results.
+    fn moments(&self) -> Moments {
+        *self.moments.get_or_init(|| {
+            if self.data.is_empty() {
+                return Moments {
+                    mean: 0.0,
+                    centered_norm: 0.0,
+                };
+            }
+            let mean = self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64;
+            let centered_norm = self
+                .data
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>();
+            Moments {
+                mean,
+                centered_norm,
+            }
+        })
+    }
+
     /// Mean pixel intensity.
     pub fn mean(&self) -> f64 {
-        if self.data.is_empty() {
-            return 0.0;
-        }
-        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+        self.moments().mean
+    }
+
+    /// The centered squared norm `Σ (v − mean)²` of the pixel intensities,
+    /// cached alongside [`mean`](Self::mean). This is the self-correlation
+    /// term of the NCC denominator; see [`crate::ncc()`].
+    pub fn centered_norm(&self) -> f64 {
+        self.moments().centered_norm
     }
 
     /// Population variance of the pixel intensities.
@@ -112,12 +195,7 @@ impl GrayImage {
         if self.data.is_empty() {
             return 0.0;
         }
-        let mean = self.mean();
-        self.data
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / self.data.len() as f64
+        self.centered_norm() / self.data.len() as f64
     }
 
     /// Extracts the sub-image covered by `bbox`, clamped to the image bounds.
@@ -220,17 +298,48 @@ pub fn render_frame(
     let base = (0.25 + 0.55 * appearance.lighting) as f32;
     let clutter = appearance.clutter as f32;
     let phase = appearance.background_id as f32 * 1.7 + 0.31;
-    let mut img = GrayImage::from_fn(width, height, |x, y| {
+    // The background texture is separable: every trigonometric factor
+    // depends on x alone or y alone, so the sin/cos evaluations are hoisted
+    // out of the pixel loop into four per-axis tables (`width + height`
+    // evaluations instead of `width * height`). The per-pixel expression
+    // multiplies the identical factors in the identical order, so the
+    // rendered pixels are bit-for-bit the same as the fused form.
+    let (mut low_x, mut high_x) = (vec![0.0f32; width], vec![0.0f32; width]);
+    for (x, (low, high)) in low_x.iter_mut().zip(high_x.iter_mut()).enumerate() {
         let fx = x as f32 / width as f32 + appearance.camera_dx as f32;
+        *low = (fx * 6.3 + phase).sin();
+        *high = (fx * 61.0 + phase * 3.0).sin();
+    }
+    let (mut low_y, mut high_y) = (vec![0.0f32; height], vec![0.0f32; height]);
+    for (y, (low, high)) in low_y.iter_mut().zip(high_y.iter_mut()).enumerate() {
         let fy = y as f32 / height as f32 + appearance.camera_dy as f32;
-        // Low-frequency structure unique to the background id.
-        let lowf = ((fx * 6.3 + phase).sin() * (fy * 4.7 + phase * 0.5).cos()) * 0.18;
-        // High-frequency clutter texture.
-        let highf = ((fx * 61.0 + phase * 3.0).sin() * (fy * 53.0 + phase * 2.0).sin()) * 0.30;
-        let noise = hash_noise(x as u64, y as u64, seed ^ appearance.background_id as u64)
-            * appearance.noise as f32;
-        (base + lowf + clutter * highf + noise).clamp(0.0, 1.0)
-    });
+        *low = (fy * 4.7 + phase * 0.5).cos();
+        *high = (fy * 53.0 + phase * 2.0).sin();
+    }
+    // The noise hash mixes its three inputs with independent wrapping
+    // multiplies, so the seed term hoists out of the loop entirely, the y
+    // term out of each row, and the x terms into a per-frame table. Wrapping
+    // u64 multiplication and addition are exact (no rounding), hence
+    // associativity/commutativity hold bit-for-bit and the regrouped hash
+    // input is the *same integer* the fused per-pixel form produced.
+    let noise_amp = appearance.noise as f32;
+    let base_h = (seed ^ appearance.background_id as u64).wrapping_mul(HASH_SEED_MUL);
+    let hash_x: Vec<u64> = (0..width)
+        .map(|x| (x as u64).wrapping_mul(HASH_X_MUL))
+        .collect();
+    let mut img = GrayImage::new(width, height);
+    for (y, row) in img.pixels_mut().chunks_exact_mut(width).enumerate() {
+        let row_h = base_h.wrapping_add((y as u64).wrapping_mul(HASH_Y_MUL));
+        let (ly, hy) = (low_y[y], high_y[y]);
+        for (((px, &lx), &hx), &xh) in row.iter_mut().zip(&low_x).zip(&high_x).zip(&hash_x) {
+            // Low-frequency structure unique to the background id.
+            let lowf = (lx * ly) * 0.18;
+            // High-frequency clutter texture.
+            let highf = (hx * hy) * 0.30;
+            let noise = finish_hash(row_h.wrapping_add(xh)) * noise_amp;
+            *px = (base + lowf + clutter * highf + noise).clamp(0.0, 1.0);
+        }
+    }
 
     if let Some(bbox) = target {
         draw_target(&mut img, bbox, appearance);
@@ -266,20 +375,44 @@ fn draw_target(img: &mut GrayImage, bbox: &BoundingBox, appearance: &SceneAppear
     }
 }
 
+/// The seed/x/y mixing multipliers of the noise hash (splitmix64's
+/// golden-ratio increment and finalizer constants). Named so
+/// [`render_frame`]'s hoisted row/column terms provably feed
+/// [`finish_hash`] the same integer [`hash_noise`] would build.
+const HASH_SEED_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+const HASH_X_MUL: u64 = 0xBF58_476D_1CE4_E5B9;
+const HASH_Y_MUL: u64 = 0x94D0_49BB_1331_11EB;
+
 /// Deterministic pseudo-random value in `[-0.5, 0.5]` derived from pixel
-/// coordinates and a seed (splitmix-style hash). Used for sensor noise so the
-/// renderer does not need to thread an RNG through every pixel.
+/// coordinates and a seed (splitmix-style hash), used for sensor noise so the
+/// renderer does not need to thread an RNG through every pixel. This fused
+/// form is the specification; [`render_frame`] inlines it with the seed/y/x
+/// terms hoisted, and the test suite pins the two bit-identical.
+#[cfg(test)]
 fn hash_noise(x: u64, y: u64, seed: u64) -> f32 {
-    let mut h = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(x.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(y.wrapping_mul(0x94D0_49BB_1331_11EB));
+    finish_hash(
+        seed.wrapping_mul(HASH_SEED_MUL)
+            .wrapping_add(x.wrapping_mul(HASH_X_MUL))
+            .wrapping_add(y.wrapping_mul(HASH_Y_MUL)),
+    )
+}
+
+/// The avalanche + `[-0.5, 0.5]` mapping half of [`hash_noise`], split out so
+/// the renderer can feed it pre-mixed row/column terms.
+fn finish_hash(mut h: u64) -> f32 {
     h ^= h >> 30;
-    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = h.wrapping_mul(HASH_X_MUL);
     h ^= h >> 27;
-    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h = h.wrapping_mul(HASH_Y_MUL);
     h ^= h >> 31;
-    (h as f32 / u64::MAX as f32) - 0.5
+    // `h as f64 as f32` is bit-identical to `h as f32` for every u64: the
+    // intermediate f64 rounding is innocuous because f64's 53 mantissa bits
+    // exceed 2 * 24 + 2 (the classical double-rounding bound for f32's 24).
+    // It exists purely for speed — scalar u64 -> f32 on baseline x86-64
+    // branches on the (here: uniformly random) sign bit and eats a ~50%
+    // misprediction per pixel, while u64 -> f64 lowers branch-free. The
+    // divisor 2^64 is a power of two, so the division is an exact multiply.
+    (h as f64 as f32 / u64::MAX as f32) - 0.5
 }
 
 #[cfg(test)]
@@ -385,6 +518,45 @@ mod tests {
             let v = hash_noise(i, i * 3, 7);
             assert!((-0.5..=0.5).contains(&v));
             assert_eq!(v, hash_noise(i, i * 3, 7));
+        }
+    }
+
+    #[test]
+    fn hoisted_render_noise_is_bit_identical_to_hash_noise() {
+        // `render_frame` regroups the hash input as
+        // `(seed·S + y·Y) + x·X` instead of the fused `seed·S + x·X + y·Y`;
+        // wrapping u64 arithmetic is exact, so both build the same integer
+        // and therefore the same f32. Locked here per pixel so a future
+        // "simplification" of either side cannot silently change frames.
+        for seed in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            let base_h = seed.wrapping_mul(HASH_SEED_MUL);
+            for y in 0..24u64 {
+                let row_h = base_h.wrapping_add(y.wrapping_mul(HASH_Y_MUL));
+                for x in 0..24u64 {
+                    let hoisted = finish_hash(row_h.wrapping_add(x.wrapping_mul(HASH_X_MUL)));
+                    assert_eq!(hoisted.to_bits(), hash_noise(x, y, seed).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u64_to_f32_via_f64_is_bit_identical() {
+        // The claim `finish_hash` relies on: converting u64 -> f64 -> f32
+        // equals the direct u64 -> f32 rounding (innocuous double rounding,
+        // 53 >= 2 * 24 + 2). Spot-checked across magnitudes and around the
+        // f32 precision boundaries; a splitmix walk covers random patterns.
+        let mut h = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..10_000 {
+            h ^= h >> 30;
+            h = h.wrapping_mul(HASH_X_MUL);
+            assert_eq!((h as f32).to_bits(), (h as f64 as f32).to_bits());
+        }
+        for base in [0u64, 1 << 24, 1 << 25, 1 << 53, 1 << 63, u64::MAX - 64] {
+            for d in 0..=64u64 {
+                let v = base.wrapping_add(d);
+                assert_eq!((v as f32).to_bits(), (v as f64 as f32).to_bits());
+            }
         }
     }
 }

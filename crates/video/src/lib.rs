@@ -45,7 +45,7 @@ pub use generator::{
     Difficulty, ScenarioGenerator, ScenarioLibrary, ScenarioSpec, TrajectoryFamily, WeatherRegime,
 };
 pub use image::GrayImage;
-pub use ncc::{frame_similarity, ncc, ncc_regions};
+pub use ncc::{frame_similarity, ncc, ncc_regions, RegionNcc};
 pub use scenario::{Environment, Scenario};
 pub use stream::{Frame, FrameStream};
 pub use trajectory::{Trajectory, Waypoint};

@@ -11,6 +11,18 @@
 //!
 //! A value near `1` means the scene barely changed; a sharp drop signals a
 //! context change that should trigger re-scheduling.
+//!
+//! # Error handling on the hot path
+//!
+//! [`ncc`] can only fail with [`VideoError::DimensionMismatch`], and a
+//! stream's dimensions never legitimately change mid-video — a mismatch is
+//! always a wiring bug in the caller. The per-frame helpers here and the
+//! `ContextDetector` in `shift-core` therefore assert matching dimensions in
+//! debug builds and, in release builds, fall back to similarity `0.0`
+//! ("everything changed"). The fallback keeps a miswired release binary
+//! running, but note its cost: a permanent scene cut forces a full
+//! re-scheduling pass on every frame and thrashes the shared loader, which
+//! is why the debug assertion exists to catch the bug early.
 
 use crate::bbox::BoundingBox;
 use crate::image::GrayImage;
@@ -27,6 +39,15 @@ pub const REGION_NCC_SIZE: usize = 16;
 /// variance the correlation is defined as `1.0` if both are flat and `0.0`
 /// otherwise, which matches the intuitive reading of "nothing changed" /
 /// "everything changed" used by the scheduler.
+///
+/// The per-image terms — the means and the self-correlation denominators
+/// `Σ (v − mean)²` — come from each [`GrayImage`]'s lazily cached moments,
+/// so only the cross term `Σ (p − mean(p)) (c − mean(c))` runs as a pairwise
+/// pass here. Historically all three accumulators ran in one three-pass
+/// formulation; because every surviving accumulator still sees the same
+/// operand sequence left-to-right, the result is bit-identical (the cross
+/// term is deliberately *not* rewritten as `dot(p, c) − n·mean(p)·mean(c)`,
+/// which rounds differently).
 ///
 /// # Errors
 ///
@@ -50,15 +71,13 @@ pub fn ncc(p: &GrayImage, c: &GrayImage) -> Result<f64, VideoError> {
     }
     let mp = p.mean();
     let mc = c.mean();
+    let dp = p.centered_norm();
+    let dc = c.centered_norm();
     let mut num = 0.0f64;
-    let mut dp = 0.0f64;
-    let mut dc = 0.0f64;
     for (a, b) in p.pixels().iter().zip(c.pixels().iter()) {
         let da = *a as f64 - mp;
         let db = *b as f64 - mc;
         num += da * db;
-        dp += da * da;
-        dc += db * db;
     }
     const EPS: f64 = 1e-12;
     if dp < EPS && dc < EPS {
@@ -70,34 +89,150 @@ pub fn ncc(p: &GrayImage, c: &GrayImage) -> Result<f64, VideoError> {
     Ok((num / (dp.sqrt() * dc.sqrt())).clamp(-1.0, 1.0))
 }
 
+/// One side of [`RegionNcc`]'s scratch state: a reusable
+/// [`REGION_NCC_SIZE`]² target buffer plus the nearest-neighbour index map
+/// of the last crop shape sampled into it. Bounding boxes are near-constant
+/// within a stream, so the map — the `floor((i + 0.5) / REGION_NCC_SIZE ·
+/// crop_extent)` source index per target row/column, exactly the arithmetic
+/// of [`GrayImage::resized`] — is recomputed only when the crop shape
+/// actually changes.
+#[derive(Debug, Clone)]
+struct RegionSlot {
+    target: GrayImage,
+    source_x: [usize; REGION_NCC_SIZE],
+    source_y: [usize; REGION_NCC_SIZE],
+    crop_shape: (usize, usize),
+}
+
+impl RegionSlot {
+    fn new() -> Self {
+        Self {
+            target: GrayImage::new(REGION_NCC_SIZE, REGION_NCC_SIZE),
+            source_x: [0; REGION_NCC_SIZE],
+            source_y: [0; REGION_NCC_SIZE],
+            crop_shape: (0, 0),
+        }
+    }
+
+    /// Samples `frame`'s crop under `bbox` into the scratch target — the
+    /// fusion of `frame.crop(bbox)` + `crop.resized(16, 16)` without the two
+    /// intermediate allocations; the sampled source pixels are identical.
+    /// Returns `false` when the clamped crop is empty (the out-of-frame
+    /// case, which the caller maps to similarity `0.0`).
+    fn fill(&mut self, frame: &GrayImage, bbox: &BoundingBox) -> bool {
+        let clamped = bbox.clamped(frame.width(), frame.height());
+        let x0 = clamped.x.floor() as usize;
+        let y0 = clamped.y.floor() as usize;
+        let x1 = (clamped.right().ceil() as usize).min(frame.width());
+        let y1 = (clamped.bottom().ceil() as usize).min(frame.height());
+        if x1 <= x0 || y1 <= y0 {
+            return false;
+        }
+        let (crop_w, crop_h) = (x1 - x0, y1 - y0);
+        if self.crop_shape != (crop_w, crop_h) {
+            // Same arithmetic as `GrayImage::resized`, evaluated once per
+            // axis instead of once per pixel.
+            for (x, sx) in self.source_x.iter_mut().enumerate() {
+                let s =
+                    ((x as f64 + 0.5) / REGION_NCC_SIZE as f64 * crop_w as f64).floor() as usize;
+                *sx = s.min(crop_w - 1);
+            }
+            for (y, sy) in self.source_y.iter_mut().enumerate() {
+                let s =
+                    ((y as f64 + 0.5) / REGION_NCC_SIZE as f64 * crop_h as f64).floor() as usize;
+                *sy = s.min(crop_h - 1);
+            }
+            self.crop_shape = (crop_w, crop_h);
+        }
+        let source = frame.pixels();
+        let stride = frame.width();
+        let target = self.target.pixels_mut();
+        for (y, &sy) in self.source_y.iter().enumerate() {
+            let row = &source[(y0 + sy) * stride..];
+            for (x, &sx) in self.source_x.iter().enumerate() {
+                target[y * REGION_NCC_SIZE + x] = row[x0 + sx];
+            }
+        }
+        true
+    }
+}
+
+/// Reusable scratch state for the bounding-box NCC term: two
+/// [`REGION_NCC_SIZE`]² buffers the crops are sampled straight into, making
+/// the steady-state region path allocation-free (the historical path
+/// allocated two crops plus two resized images per call).
+///
+/// Results are bit-identical to [`ncc_regions`]; holders that score many
+/// frames (the context detector, the tracker baselines) keep one of these
+/// alive instead of calling the allocating free function.
+#[derive(Debug, Clone)]
+pub struct RegionNcc {
+    prev: RegionSlot,
+    cur: RegionSlot,
+}
+
+impl Default for RegionNcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegionNcc {
+    /// Creates the scratch buffers (the only allocation this type performs).
+    pub fn new() -> Self {
+        Self {
+            prev: RegionSlot::new(),
+            cur: RegionSlot::new(),
+        }
+    }
+
+    /// Computes the NCC between the regions of two frames selected by two
+    /// bounding boxes, reusing the scratch buffers. See [`ncc_regions`] for
+    /// the semantics; the two are bit-identical.
+    pub fn ncc_regions(
+        &mut self,
+        prev_frame: &GrayImage,
+        prev_bbox: &BoundingBox,
+        cur_frame: &GrayImage,
+        cur_bbox: &BoundingBox,
+    ) -> f64 {
+        if !self.prev.fill(prev_frame, prev_bbox) || !self.cur.fill(cur_frame, cur_bbox) {
+            return 0.0;
+        }
+        // The scratch targets always share the 16×16 shape, so the dimension
+        // check inside `ncc` cannot fail; `unwrap_or` documents the release
+        // fallback regardless (see the module-level error-handling note).
+        ncc(&self.prev.target, &self.cur.target).unwrap_or(0.0)
+    }
+}
+
 /// Computes the NCC between the regions of two frames selected by two
 /// bounding boxes (the "bounding-box NCC" term of the scheduler's similarity
 /// score).
 ///
 /// Both crops are resampled to [`REGION_NCC_SIZE`]² before correlation so
-/// that detections of different sizes can be compared. If either box does not
+/// that boxes of different sizes remain comparable. If either box does not
 /// overlap its frame the function returns `0.0`, signalling maximal change —
 /// this is what drives re-scheduling when a detection disappears.
+///
+/// This convenience form allocates a fresh [`RegionNcc`] scratch per call;
+/// per-frame callers hold a [`RegionNcc`] instead.
 pub fn ncc_regions(
     prev_frame: &GrayImage,
     prev_bbox: &BoundingBox,
     cur_frame: &GrayImage,
     cur_bbox: &BoundingBox,
 ) -> f64 {
-    let prev_crop = prev_frame.crop(prev_bbox);
-    let cur_crop = cur_frame.crop(cur_bbox);
-    match (prev_crop, cur_crop) {
-        (Some(p), Some(c)) => {
-            let p = p.resized(REGION_NCC_SIZE, REGION_NCC_SIZE);
-            let c = c.resized(REGION_NCC_SIZE, REGION_NCC_SIZE);
-            ncc(&p, &c).unwrap_or(0.0)
-        }
-        _ => 0.0,
-    }
+    RegionNcc::new().ncc_regions(prev_frame, prev_bbox, cur_frame, cur_bbox)
 }
 
 /// Convenience helper computing the scheduler's combined similarity score:
 /// `min(NCC(last image, image), NCC(last bbox crop, bbox crop))`.
+///
+/// The full-frame term treats a dimension mismatch as maximal change
+/// (`0.0`): stream dimensions never legitimately change mid-video, so the
+/// fallback only matters for miswired callers, and the debug-mode assertion
+/// at the `ContextDetector` boundary is what actually surfaces those.
 pub fn frame_similarity(
     prev_frame: &GrayImage,
     prev_bbox: &BoundingBox,
