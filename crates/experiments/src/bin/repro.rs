@@ -21,10 +21,14 @@
 //! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot —
 //! `chaos` — the fault-plan × scenario resilience grid, which writes
 //! `CHAOS_resilience.csv` (and, when the same invocation ran `stress`, folds
-//! its wall time into `BENCH_stress.json`) — and `bench` — the
-//! perf-regression micro suite, which writes
-//! `BENCH_micro.json` (when the same invocation also ran `stress`, as in
-//! `repro -- stress bench`, the fresh stress timings are folded in).
+//! its wall time into `BENCH_stress.json`) — `hunt` — the coverage-guided
+//! adversarial scenario search, which writes `HUNT_findings.csv` (one row
+//! per minimized failure; `--budget N` overrides the mutant-evaluation
+//! budget and `--corpus-out DIR` additionally emits each minimized finding
+//! as a replayable `.case` file) — and `bench` — the perf-regression micro
+//! suite, which writes `BENCH_micro.json` (when the same invocation also
+//! ran `stress`, as in `repro -- stress bench`, the fresh stress timings
+//! are folded in).
 //!
 //! Standalone gate modes: `bench-compare <baseline> <current>
 //! [--threshold F]` diffs two `BENCH_micro.json` snapshots and exits
@@ -45,8 +49,8 @@
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, chaos, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, stress,
-    table1, table3, table4,
+    ablations, chaos, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, search,
+    stress, table1, table3, table4,
 };
 use std::process::ExitCode;
 
@@ -63,7 +67,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 18] = [
+const ARTIFACTS: [&str; 19] = [
     "table1",
     "table3",
     "table4",
@@ -81,6 +85,7 @@ const ARTIFACTS: [&str; 18] = [
     "fleet",
     "stress",
     "chaos",
+    "hunt",
     "bench",
 ];
 
@@ -191,6 +196,8 @@ fn main() -> ExitCode {
     let mut lockstep = false;
     let mut seed = 2024u64;
     let mut jobs = executor::default_jobs();
+    let mut budget: Option<usize> = None;
+    let mut corpus_out: Option<String> = None;
     let mut requested: Vec<String> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -226,6 +233,26 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            "--budget" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--budget requires a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(v) if v >= 1 => budget = Some(v),
+                    _ => {
+                        eprintln!("invalid budget `{value}`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--corpus-out" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--corpus-out requires a directory");
+                    return ExitCode::FAILURE;
+                };
+                corpus_out = Some(value.clone());
             }
             "--help" | "-h" => {
                 print_help();
@@ -338,6 +365,44 @@ fn main() -> ExitCode {
                     Err(err) => Err(err),
                 }
             }
+            "hunt" => {
+                let mut options = if smoke {
+                    search::HuntOptions::smoke()
+                } else {
+                    search::HuntOptions::full()
+                };
+                if let Some(budget) = budget {
+                    options = options.with_budget(budget);
+                }
+                match search::artifact(&ctx, &options) {
+                    Ok(artifact) => {
+                        if let Err(err) = write_atomic("HUNT_findings.csv", &artifact.csv) {
+                            eprintln!("failed to write HUNT_findings.csv: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!(
+                            "# wrote HUNT_findings.csv ({} finding(s))",
+                            artifact.cases.len()
+                        );
+                        if let Some(dir) = &corpus_out {
+                            if let Err(err) = std::fs::create_dir_all(dir) {
+                                eprintln!("failed to create {dir}: {err}");
+                                return ExitCode::FAILURE;
+                            }
+                            for (index, case) in artifact.cases.iter().enumerate() {
+                                let path = format!("{dir}/finding-{index:02}-{}.case", case.signal);
+                                if let Err(err) = write_atomic(&path, &case.encode()) {
+                                    eprintln!("failed to write {path}: {err}");
+                                    return ExitCode::FAILURE;
+                                }
+                                eprintln!("# wrote {path}");
+                            }
+                        }
+                        Ok(artifact.table)
+                    }
+                    Err(err) => Err(err),
+                }
+            }
             "bench" => {
                 let options = if smoke {
                     shift_bench::suite::SuiteOptions::smoke()
@@ -408,7 +473,8 @@ fn main() -> ExitCode {
 
 fn print_help() {
     eprintln!(
-        "usage: repro [--quick] [--smoke] [--lockstep] [--seed N] [--jobs N] [artifact...]\n       \
+        "usage: repro [--quick] [--smoke] [--lockstep] [--seed N] [--jobs N] \
+         [--budget N] [--corpus-out DIR] [artifact...]\n       \
          repro bench-compare <baseline.json> <current.json> [--threshold F]\n       \
          repro check-stress <BENCH_stress.json>"
     );
@@ -416,13 +482,18 @@ fn print_help() {
         "artifacts: {} | all (paper artifacts) | ablations (ablation studies)",
         ARTIFACTS.join(" | ")
     );
+    eprintln!("standalone gate modes: bench-compare | check-stress");
     eprintln!(
         "--smoke implies --quick, shrinks `stress` to <= 8 scenarios, `chaos` to an 18-cell \
-         grid and `bench` to CI sizing"
+         grid, `hunt` to a few dozen evaluations and `bench` to CI sizing"
     );
     eprintln!("--jobs N runs sweeps on N workers (artifacts stay byte-identical for any N)");
     eprintln!(
         "--lockstep drives fleet runs with the pre-DES lockstep loop (artifacts stay \
          byte-identical to the default event-driven loop)"
+    );
+    eprintln!(
+        "--budget N caps `hunt` mutant evaluations; --corpus-out DIR additionally writes \
+         each minimized hunt finding as a replayable .case file"
     );
 }

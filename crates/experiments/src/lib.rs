@@ -32,7 +32,10 @@
 //! and the baselines over a deterministic fault-plan × scenario grid
 //! (`shift_soc::fault` — accelerator dropouts, DVFS clamps, memory squeezes,
 //! telemetry glitches) and reduces each run to a resilience row splitting
-//! goal attainment by fault activity.
+//! goal attainment by fault activity. [`search`] goes on the offensive:
+//! a coverage-guided adversarial hunt that mutates scenario × fault specs
+//! toward SHIFT failure signals, minimizes every catch and emits it as a
+//! replayable regression-corpus case.
 //!
 //! All of those sweeps fan out on [`executor`], the deterministic parallel
 //! experiment executor: a work-stealing worker pool whose index-ordered
@@ -63,6 +66,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fleet;
 pub mod headline;
+pub mod search;
 pub mod stress;
 pub mod table1;
 pub mod table3;

@@ -1,0 +1,227 @@
+//! Findings rows for the adversarial scenario hunt (`repro -- hunt`).
+//!
+//! The hunt loop in `shift_experiments::search` mutates scenario × fault
+//! specs toward SHIFT failure signals and greedily minimizes everything it
+//! catches. Each surviving finding is reduced to one stable [`HuntRow`]:
+//! which signal fired and how hard, the scenario/fault shape that triggered
+//! it, the seeds that replay it exactly, and how far the minimizer shrank it.
+//! Rows serialize with full round-trip float precision so the
+//! `HUNT_findings.csv` artifact is locked byte-for-byte by golden tests —
+//! the same contract every other artifact in this workspace honours.
+
+use crate::export::{csv_escape, number};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`HuntRow::csv_row`].
+pub const HUNT_CSV_HEADER: &str = "finding,signal,magnitude,threshold,scenario,difficulty,\
+family,weather,environment,frames,fault_windows,fault_frames,accuracy_goal,mean_iou,\
+goal_gap,replans_per_kframe,blind_frame_fraction,degraded_fault_fraction,scenario_seed,\
+replica,fault_seed,original_size,minimized_size,shrink_steps";
+
+/// One minimized failure the hunt committed to the findings artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HuntRow {
+    /// Finding index within the report (insertion order).
+    pub finding: usize,
+    /// The failure-signal label that fired (e.g. `"goal-gap"`).
+    pub signal: String,
+    /// The signal magnitude of the minimized case.
+    pub magnitude: f64,
+    /// The threshold the magnitude had to clear to count as a failure.
+    pub threshold: f64,
+    /// Scenario class name of the minimized case.
+    pub scenario: String,
+    /// Difficulty label.
+    pub difficulty: String,
+    /// Trajectory-family label.
+    pub family: String,
+    /// Weather-regime label.
+    pub weather: String,
+    /// Environment label.
+    pub environment: String,
+    /// Frames the minimized case runs for.
+    pub frames: usize,
+    /// Fault windows scripted by the minimized case's plan.
+    pub fault_windows: usize,
+    /// Frames that executed while at least one fault was active.
+    pub fault_frames: usize,
+    /// The accuracy goal the run was held to.
+    pub accuracy_goal: f64,
+    /// Mean IoU of the minimized run.
+    pub mean_iou: f64,
+    /// Goal-attainment gap, `accuracy_goal - mean_iou` (positive = miss).
+    pub goal_gap: f64,
+    /// Forced re-planning rate: model/accelerator swaps per 1000 frames.
+    pub replans_per_kframe: f64,
+    /// Fraction of frames with zero IoU (the tracker was blind).
+    pub blind_frame_fraction: f64,
+    /// Fraction of fault-window frames that missed (IoU < 0.5).
+    pub degraded_fault_fraction: f64,
+    /// Scenario-generator seed replaying the case.
+    pub scenario_seed: u64,
+    /// Scenario replica index.
+    pub replica: u64,
+    /// Fault-plan seed replaying the case.
+    pub fault_seed: u64,
+    /// Size metric of the entry as found, before minimization.
+    pub original_size: u64,
+    /// Size metric after minimization (never larger than `original_size`).
+    pub minimized_size: u64,
+    /// Number of successful shrink steps the minimizer applied.
+    pub shrink_steps: usize,
+}
+
+impl HuntRow {
+    /// Renders the row as one CSV line matching [`HUNT_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.finding,
+            csv_escape(&self.signal),
+            number(self.magnitude),
+            number(self.threshold),
+            csv_escape(&self.scenario),
+            csv_escape(&self.difficulty),
+            csv_escape(&self.family),
+            csv_escape(&self.weather),
+            csv_escape(&self.environment),
+            self.frames,
+            self.fault_windows,
+            self.fault_frames,
+            number(self.accuracy_goal),
+            number(self.mean_iou),
+            number(self.goal_gap),
+            number(self.replans_per_kframe),
+            number(self.blind_frame_fraction),
+            number(self.degraded_fault_fraction),
+            self.scenario_seed,
+            self.replica,
+            self.fault_seed,
+            self.original_size,
+            self.minimized_size,
+            self.shrink_steps
+        );
+        out
+    }
+}
+
+/// The collected findings of one hunt run, in discovery order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HuntReport {
+    rows: Vec<HuntRow>,
+}
+
+impl HuntReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one finding.
+    pub fn push(&mut self, row: HuntRow) {
+        self.rows.push(row);
+    }
+
+    /// The findings, in discovery order.
+    pub fn rows(&self) -> &[HuntRow] {
+        &self.rows
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the hunt caught nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the report as CSV (header + one line per finding).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(HUNT_CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The distinct signal labels caught, in first-appearance order.
+    pub fn signals(&self) -> Vec<&str> {
+        let mut labels: Vec<&str> = Vec::new();
+        for row in &self.rows {
+            if !labels.contains(&row.signal.as_str()) {
+                labels.push(&row.signal);
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(finding: usize, signal: &str) -> HuntRow {
+        HuntRow {
+            finding,
+            signal: signal.to_string(),
+            magnitude: 0.21,
+            threshold: 0.05,
+            scenario: "hunt,case".to_string(),
+            difficulty: "hard".to_string(),
+            family: "fly-through".to_string(),
+            weather: "fog".to_string(),
+            environment: "outdoor".to_string(),
+            frames: 120,
+            fault_windows: 2,
+            fault_frames: 31,
+            accuracy_goal: 0.3,
+            mean_iou: 0.09,
+            goal_gap: 0.21,
+            replans_per_kframe: 41.7,
+            blind_frame_fraction: 0.25,
+            degraded_fault_fraction: 0.8,
+            scenario_seed: 77,
+            replica: 3,
+            fault_seed: 11,
+            original_size: 950,
+            minimized_size: 180,
+            shrink_steps: 6,
+        }
+    }
+
+    #[test]
+    fn csv_matches_header_and_is_deterministic() {
+        let r = row(0, "goal-gap");
+        assert_eq!(
+            r.csv_row().split(',').count(),
+            HUNT_CSV_HEADER.split(',').count() + 1,
+            "the quoted scenario label carries the extra comma"
+        );
+        assert_eq!(r.csv_row(), r.csv_row());
+        assert!(r.csv_row().contains("\"hunt,case\""));
+        let mut report = HuntReport::new();
+        report.push(r);
+        let csv = report.to_csv();
+        assert!(csv.starts_with(HUNT_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn report_tracks_distinct_signals_in_order() {
+        let mut report = HuntReport::new();
+        assert!(report.is_empty());
+        report.push(row(0, "goal-gap"));
+        report.push(row(1, "blind-frames"));
+        report.push(row(2, "goal-gap"));
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.signals(), vec!["goal-gap", "blind-frames"]);
+        assert_eq!(report.rows()[2].finding, 2);
+    }
+}

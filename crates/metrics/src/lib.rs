@@ -18,7 +18,9 @@
 //! workload class. For fault-injected (chaos) runs, [`ResilienceRow`] and
 //! [`ResilienceBreakdown`] split every metric by fault activity — goal
 //! attainment inside vs outside fault windows, degraded-frame fraction and
-//! recovery latency in frames.
+//! recovery latency in frames. For the adversarial scenario hunt
+//! (`repro -- hunt`), [`HuntRow`] and [`HuntReport`] reduce every minimized
+//! finding to a stable findings-CSV row.
 //!
 //! ```
 //! use shift_metrics::{FrameRecord, RunSummary};
@@ -38,6 +40,7 @@ pub mod breakdown;
 pub mod curve;
 pub mod export;
 pub mod fleet;
+pub mod hunt;
 pub mod record;
 pub mod report;
 pub mod resilience;
@@ -56,6 +59,7 @@ pub use export::{
     records_to_csv, records_to_json, series_to_csv, summaries_to_csv, summaries_to_json,
 };
 pub use fleet::{FleetSummary, StreamSummary, FLEET_CSV_HEADER, STREAM_CSV_HEADER};
+pub use hunt::{HuntReport, HuntRow, HUNT_CSV_HEADER};
 pub use record::FrameRecord;
 pub use report::Table;
 pub use resilience::{

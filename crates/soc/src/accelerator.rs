@@ -67,6 +67,17 @@ impl std::fmt::Display for AcceleratorId {
     }
 }
 
+impl std::str::FromStr for AcceleratorId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AcceleratorId::ALL
+            .into_iter()
+            .find(|a| a.to_string() == s)
+            .ok_or_else(|| format!("unknown accelerator {s:?}"))
+    }
+}
+
 /// Static description of one accelerator: its memory capacity, idle power and
 /// which execution-target class it belongs to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

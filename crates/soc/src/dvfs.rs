@@ -104,6 +104,17 @@ impl std::fmt::Display for PowerMode {
     }
 }
 
+impl std::str::FromStr for PowerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PowerMode::ALL
+            .into_iter()
+            .find(|m| m.to_string() == s)
+            .ok_or_else(|| format!("unknown power mode {s:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -158,7 +158,7 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// Default window sizing for a horizon: windows between ~4% and ~15% of
     /// the run, never shorter than 2 frames.
-    fn window_bounds(horizon_frames: u64) -> (u64, u64) {
+    pub fn window_bounds(horizon_frames: u64) -> (u64, u64) {
         let min = (horizon_frames / 25).max(2);
         let max = (horizon_frames / 7).max(min + 1);
         (min, max)
@@ -228,6 +228,124 @@ impl FaultSpec {
             ..Self::none(horizon_frames)
         }
     }
+
+    /// Encodes the spec as stable `key = value` lines.
+    ///
+    /// The vendored serde derives are no-ops, so this hand-rolled format is
+    /// what lets fault mixes be committed to disk (the `tests/corpus/`
+    /// regression cases). Target lists are space-separated accelerator
+    /// labels; floats use Rust's shortest round-trip formatting, so
+    /// [`decode`](Self::decode) reconstructs the spec bit-for-bit.
+    pub fn encode(&self) -> String {
+        let targets = |list: &[AcceleratorId]| {
+            list.iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let mut out = String::new();
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        push("horizon_frames", self.horizon_frames.to_string());
+        push("dropouts", self.dropouts.to_string());
+        push("dropout_targets", targets(&self.dropout_targets));
+        push("clamps", self.clamps.to_string());
+        push("clamp_mode", self.clamp_mode.to_string());
+        push("squeezes", self.squeezes.to_string());
+        push("squeeze_targets", targets(&self.squeeze_targets));
+        push("squeeze_fraction", format!("{}", self.squeeze_fraction));
+        push("glitches", self.glitches.to_string());
+        push("min_window_frames", self.min_window_frames.to_string());
+        push("max_window_frames", self.max_window_frames.to_string());
+        out
+    }
+
+    /// Decodes a spec from the [`encode`](Self::encode) format.
+    ///
+    /// Blank lines and `#` comment lines are ignored; every spec key must
+    /// appear exactly once. Values are taken verbatim (no clamping), so the
+    /// round trip is exact.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut horizon_frames: Option<u64> = None;
+        let mut dropouts: Option<usize> = None;
+        let mut dropout_targets: Option<Vec<AcceleratorId>> = None;
+        let mut clamps: Option<usize> = None;
+        let mut clamp_mode: Option<PowerMode> = None;
+        let mut squeezes: Option<usize> = None;
+        let mut squeeze_targets: Option<Vec<AcceleratorId>> = None;
+        let mut squeeze_fraction: Option<f64> = None;
+        let mut glitches: Option<usize> = None;
+        let mut min_window_frames: Option<u64> = None;
+        let mut max_window_frames: Option<u64> = None;
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("line {}: expected `key = value`, got {raw:?}", number + 1)
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "horizon_frames" => set(&mut horizon_frames, key, parse(value))?,
+                "dropouts" => set(&mut dropouts, key, parse(value))?,
+                "dropout_targets" => set(&mut dropout_targets, key, parse_targets(value))?,
+                "clamps" => set(&mut clamps, key, parse(value))?,
+                "clamp_mode" => set(&mut clamp_mode, key, value.parse())?,
+                "squeezes" => set(&mut squeezes, key, parse(value))?,
+                "squeeze_targets" => set(&mut squeeze_targets, key, parse_targets(value))?,
+                "squeeze_fraction" => set(&mut squeeze_fraction, key, parse(value))?,
+                "glitches" => set(&mut glitches, key, parse(value))?,
+                "min_window_frames" => set(&mut min_window_frames, key, parse(value))?,
+                "max_window_frames" => set(&mut max_window_frames, key, parse(value))?,
+                other => return Err(format!("unknown fault spec key {other:?}")),
+            }
+        }
+        fn require<T>(slot: Option<T>, key: &str) -> Result<T, String> {
+            slot.ok_or_else(|| format!("missing key {key:?}"))
+        }
+        Ok(Self {
+            horizon_frames: require(horizon_frames, "horizon_frames")?,
+            dropouts: require(dropouts, "dropouts")?,
+            dropout_targets: require(dropout_targets, "dropout_targets")?,
+            clamps: require(clamps, "clamps")?,
+            clamp_mode: require(clamp_mode, "clamp_mode")?,
+            squeezes: require(squeezes, "squeezes")?,
+            squeeze_targets: require(squeeze_targets, "squeeze_targets")?,
+            squeeze_fraction: require(squeeze_fraction, "squeeze_fraction")?,
+            glitches: require(glitches, "glitches")?,
+            min_window_frames: require(min_window_frames, "min_window_frames")?,
+            max_window_frames: require(max_window_frames, "max_window_frames")?,
+        })
+    }
+}
+
+/// Stores a decoded value, rejecting duplicate keys and attaching the key
+/// name to parse errors.
+fn set<T>(slot: &mut Option<T>, key: &str, value: Result<T, String>) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate key {key:?}"));
+    }
+    *slot = Some(value.map_err(|e| format!("key {key:?}: {e}"))?);
+    Ok(())
+}
+
+/// Parses any `FromStr` value, stringifying the error.
+fn parse<T: std::str::FromStr>(value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value.parse().map_err(|e| format!("{e}"))
+}
+
+/// Parses a space-separated accelerator-label list (empty value → empty
+/// list).
+fn parse_targets(value: &str) -> Result<Vec<AcceleratorId>, String> {
+    value.split_whitespace().map(|t| t.parse()).collect()
 }
 
 /// A fully scripted fault plan: sorted, finite windows, non-overlapping per
@@ -919,6 +1037,75 @@ mod tests {
             end_frame: end,
         };
         let _ = FaultPlan::from_windows(100, vec![window(0, 10), window(5, 15)]);
+    }
+
+    #[test]
+    fn accelerator_and_power_mode_labels_round_trip() {
+        for accelerator in AcceleratorId::ALL {
+            assert_eq!(accelerator.to_string().parse(), Ok(accelerator));
+        }
+        for mode in PowerMode::ALL {
+            assert_eq!(mode.to_string().parse(), Ok(mode));
+        }
+        assert!("TPU".parse::<AcceleratorId>().is_err());
+        assert!("30W".parse::<PowerMode>().is_err());
+    }
+
+    #[test]
+    fn fault_spec_encode_decode_round_trips_exactly() {
+        let specs = [
+            FaultSpec::none(600),
+            FaultSpec::dropout_storm(600),
+            FaultSpec::thermal_brownout(450),
+            FaultSpec::memory_crunch(333),
+            FaultSpec::mixed(1200),
+            FaultSpec {
+                squeeze_fraction: 1.0 / 3.0,
+                ..FaultSpec::memory_crunch(777)
+            },
+        ];
+        for spec in specs {
+            let text = spec.encode();
+            let decoded = FaultSpec::decode(&text).expect("decode");
+            assert_eq!(decoded, spec, "round trip must be exact");
+            assert_eq!(decoded.encode(), text, "re-encode must be byte-identical");
+            // The decoded spec drives generation identically.
+            assert_eq!(
+                FaultPlan::generate(11, &decoded),
+                FaultPlan::generate(11, &spec)
+            );
+        }
+    }
+
+    #[test]
+    fn fault_spec_decode_rejects_malformed_input() {
+        let good = FaultSpec::mixed(500).encode();
+        assert!(FaultSpec::decode("dropouts")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(FaultSpec::decode(&format!("{good}dropouts = 9\n"))
+            .unwrap_err()
+            .contains("duplicate key"));
+        assert!(FaultSpec::decode(&format!("{good}mystery = 1\n"))
+            .unwrap_err()
+            .contains("unknown fault spec key"));
+        let missing = good
+            .lines()
+            .filter(|l| !l.starts_with("clamp_mode"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(FaultSpec::decode(&missing)
+            .unwrap_err()
+            .contains("missing key \"clamp_mode\""));
+        let bad_target = good.replace("dropout_targets = GPU DLA0", "dropout_targets = GPU TPU");
+        assert!(FaultSpec::decode(&bad_target)
+            .unwrap_err()
+            .contains("unknown accelerator"));
+        // Comments and blank lines are tolerated.
+        assert_eq!(
+            FaultSpec::decode(&format!("# fault mix\n\n{good}")),
+            Ok(FaultSpec::mixed(500))
+        );
     }
 
     #[test]

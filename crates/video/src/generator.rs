@@ -87,6 +87,20 @@ impl std::fmt::Display for TrajectoryFamily {
     }
 }
 
+impl std::str::FromStr for TrajectoryFamily {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "approach" => Ok(TrajectoryFamily::Approach),
+            "orbit" => Ok(TrajectoryFamily::Orbit),
+            "fly-through" => Ok(TrajectoryFamily::FlyThrough),
+            "hover" => Ok(TrajectoryFamily::Hover),
+            other => Err(format!("unknown trajectory family {other:?}")),
+        }
+    }
+}
+
 /// Lighting / weather regime: maps to the contrast and illumination ranges
 /// the background segments are sampled from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -132,6 +146,20 @@ impl std::fmt::Display for WeatherRegime {
             WeatherRegime::Dusk => "dusk",
         };
         write!(f, "{name}")
+    }
+}
+
+impl std::str::FromStr for WeatherRegime {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "clear" => Ok(WeatherRegime::Clear),
+            "overcast" => Ok(WeatherRegime::Overcast),
+            "fog" => Ok(WeatherRegime::Fog),
+            "dusk" => Ok(WeatherRegime::Dusk),
+            other => Err(format!("unknown weather regime {other:?}")),
+        }
     }
 }
 
@@ -182,6 +210,17 @@ impl Difficulty {
 impl std::fmt::Display for Difficulty {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.label())
+    }
+}
+
+impl std::str::FromStr for Difficulty {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Difficulty::ALL
+            .into_iter()
+            .find(|d| d.label() == s)
+            .ok_or_else(|| format!("unknown difficulty {s:?}"))
     }
 }
 
@@ -384,6 +423,168 @@ impl ScenarioSpec {
         self.accuracy_goal = goal.clamp(0.05, 0.38);
         self
     }
+
+    /// Encodes the spec as stable `key = value` lines.
+    ///
+    /// The vendored serde derives are no-ops, so this hand-rolled format is
+    /// what lets specs be committed to disk (the `tests/corpus/` regression
+    /// cases). Floats use Rust's shortest round-trip formatting, so
+    /// [`decode`](Self::decode) reconstructs the spec bit-for-bit —
+    /// `decode(encode(spec)) == spec` for any spec whose name contains no
+    /// newline.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let mut push = |key: &str, value: String| {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(&value);
+            out.push('\n');
+        };
+        push("name", self.name.clone());
+        push("environment", self.environment.to_string());
+        push("family", self.family.to_string());
+        push("weather", self.weather.to_string());
+        push("difficulty", self.difficulty.to_string());
+        push("frames", format!("{} {}", self.frames.0, self.frames.1));
+        push(
+            "segments",
+            format!("{} {}", self.segments.0, self.segments.1),
+        );
+        push("clutter", format!("{} {}", self.clutter.0, self.clutter.1));
+        push(
+            "distance",
+            format!("{} {}", self.distance.0, self.distance.1),
+        );
+        push(
+            "occlusions",
+            format!("{} {}", self.occlusions.0, self.occlusions.1),
+        );
+        push(
+            "absences",
+            format!("{} {}", self.absences.0, self.absences.1),
+        );
+        push(
+            "cut_bursts",
+            format!("{} {}", self.cut_bursts.0, self.cut_bursts.1),
+        );
+        push("accuracy_goal", format!("{}", self.accuracy_goal));
+        out
+    }
+
+    /// Decodes a spec from the [`encode`](Self::encode) format.
+    ///
+    /// Blank lines and `#` comment lines are ignored; every spec key must
+    /// appear exactly once. Values are taken verbatim (no clamping), so the
+    /// round trip is exact.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut name: Option<String> = None;
+        let mut environment: Option<Environment> = None;
+        let mut family: Option<TrajectoryFamily> = None;
+        let mut weather: Option<WeatherRegime> = None;
+        let mut difficulty: Option<Difficulty> = None;
+        let mut frames: Option<(usize, usize)> = None;
+        let mut segments: Option<(usize, usize)> = None;
+        let mut clutter: Option<(f64, f64)> = None;
+        let mut distance: Option<(f64, f64)> = None;
+        let mut occlusions: Option<(usize, usize)> = None;
+        let mut absences: Option<(usize, usize)> = None;
+        let mut cut_bursts: Option<(usize, usize)> = None;
+        let mut accuracy_goal: Option<f64> = None;
+        for (key, value) in decode_lines(text)? {
+            match key {
+                "name" => set_field(&mut name, key, Ok(value.to_string()))?,
+                "environment" => set_field(&mut environment, key, value.parse())?,
+                "family" => set_field(&mut family, key, value.parse())?,
+                "weather" => set_field(&mut weather, key, value.parse())?,
+                "difficulty" => set_field(&mut difficulty, key, value.parse())?,
+                "frames" => set_field(&mut frames, key, parse_usize_pair(value))?,
+                "segments" => set_field(&mut segments, key, parse_usize_pair(value))?,
+                "clutter" => set_field(&mut clutter, key, parse_f64_pair(value))?,
+                "distance" => set_field(&mut distance, key, parse_f64_pair(value))?,
+                "occlusions" => set_field(&mut occlusions, key, parse_usize_pair(value))?,
+                "absences" => set_field(&mut absences, key, parse_usize_pair(value))?,
+                "cut_bursts" => set_field(&mut cut_bursts, key, parse_usize_pair(value))?,
+                "accuracy_goal" => set_field(
+                    &mut accuracy_goal,
+                    key,
+                    value.parse().map_err(|e| format!("{e}")),
+                )?,
+                other => return Err(format!("unknown scenario spec key {other:?}")),
+            }
+        }
+        Ok(Self {
+            name: require_field(name, "name")?,
+            environment: require_field(environment, "environment")?,
+            family: require_field(family, "family")?,
+            weather: require_field(weather, "weather")?,
+            difficulty: require_field(difficulty, "difficulty")?,
+            frames: require_field(frames, "frames")?,
+            segments: require_field(segments, "segments")?,
+            clutter: require_field(clutter, "clutter")?,
+            distance: require_field(distance, "distance")?,
+            occlusions: require_field(occlusions, "occlusions")?,
+            absences: require_field(absences, "absences")?,
+            cut_bursts: require_field(cut_bursts, "cut_bursts")?,
+            accuracy_goal: require_field(accuracy_goal, "accuracy_goal")?,
+        })
+    }
+}
+
+/// Splits `key = value` lines, skipping blanks and `#` comments. Shared by
+/// the spec codec here and re-exported for the corpus-case format built on
+/// top of it.
+pub fn decode_lines(text: &str) -> Result<Vec<(&str, &str)>, String> {
+    let mut pairs = Vec::new();
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got {raw:?}", number + 1))?;
+        pairs.push((key.trim(), value.trim()));
+    }
+    Ok(pairs)
+}
+
+/// Stores a decoded value, rejecting duplicate keys and propagating parse
+/// errors with the key name attached.
+pub fn set_field<T>(
+    slot: &mut Option<T>,
+    key: &str,
+    value: Result<T, String>,
+) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("duplicate key {key:?}"));
+    }
+    *slot = Some(value.map_err(|e| format!("key {key:?}: {e}"))?);
+    Ok(())
+}
+
+/// Unwraps a decoded field, naming the key when it is missing.
+pub fn require_field<T>(slot: Option<T>, key: &str) -> Result<T, String> {
+    slot.ok_or_else(|| format!("missing key {key:?}"))
+}
+
+/// Parses a space-separated inclusive `usize` range.
+pub fn parse_usize_pair(value: &str) -> Result<(usize, usize), String> {
+    let (a, b) = value
+        .split_once(' ')
+        .ok_or_else(|| format!("expected two integers, got {value:?}"))?;
+    let min = a.trim().parse().map_err(|e| format!("{e}"))?;
+    let max = b.trim().parse().map_err(|e| format!("{e}"))?;
+    Ok((min, max))
+}
+
+/// Parses a space-separated `f64` range.
+pub fn parse_f64_pair(value: &str) -> Result<(f64, f64), String> {
+    let (a, b) = value
+        .split_once(' ')
+        .ok_or_else(|| format!("expected two floats, got {value:?}"))?;
+    let min = a.trim().parse().map_err(|e| format!("{e}"))?;
+    let max = b.trim().parse().map_err(|e| format!("{e}"))?;
+    Ok((min, max))
 }
 
 /// Seeded procedural scenario generator. Generation is pure in
@@ -972,5 +1173,80 @@ mod tests {
         assert_eq!(WeatherRegime::Fog.to_string(), "fog");
         assert_eq!(Difficulty::Extreme.to_string(), "extreme");
         assert_eq!(Difficulty::Easy.rank(), 0);
+    }
+
+    #[test]
+    fn enum_labels_round_trip_through_from_str() {
+        for family in [
+            TrajectoryFamily::Approach,
+            TrajectoryFamily::Orbit,
+            TrajectoryFamily::FlyThrough,
+            TrajectoryFamily::Hover,
+        ] {
+            assert_eq!(family.to_string().parse(), Ok(family));
+        }
+        for weather in [
+            WeatherRegime::Clear,
+            WeatherRegime::Overcast,
+            WeatherRegime::Fog,
+            WeatherRegime::Dusk,
+        ] {
+            assert_eq!(weather.to_string().parse(), Ok(weather));
+        }
+        for difficulty in Difficulty::ALL {
+            assert_eq!(difficulty.to_string().parse(), Ok(difficulty));
+        }
+        for environment in [Environment::Indoor, Environment::Outdoor] {
+            assert_eq!(environment.to_string().parse(), Ok(environment));
+        }
+        assert!("sideways".parse::<TrajectoryFamily>().is_err());
+        assert!("hail".parse::<WeatherRegime>().is_err());
+        assert!("brutal".parse::<Difficulty>().is_err());
+        assert!("orbital".parse::<Environment>().is_err());
+    }
+
+    #[test]
+    fn spec_encode_decode_round_trips_exactly() {
+        for spec in ScenarioLibrary::standard().specs() {
+            let text = spec.encode();
+            let decoded = ScenarioSpec::decode(&text).expect("decode");
+            assert_eq!(&decoded, spec, "{}: round trip must be exact", spec.name);
+            assert_eq!(decoded.encode(), text, "re-encode must be byte-identical");
+        }
+        // Awkward floats survive via shortest round-trip formatting.
+        let spec = ScenarioSpec::stable_scene()
+            .with_clutter(0.1 + 0.2, 0.7000000000000001)
+            .with_accuracy_goal(1.0 / 3.0);
+        assert_eq!(ScenarioSpec::decode(&spec.encode()), Ok(spec));
+    }
+
+    #[test]
+    fn spec_decode_rejects_malformed_input() {
+        let good = ScenarioSpec::stable_scene().encode();
+        assert!(ScenarioSpec::decode("name").unwrap_err().contains("line 1"));
+        assert!(ScenarioSpec::decode(&format!("{good}name = twice\n"))
+            .unwrap_err()
+            .contains("duplicate key"));
+        assert!(ScenarioSpec::decode(&format!("{good}mystery = 1\n"))
+            .unwrap_err()
+            .contains("unknown scenario spec key"));
+        let missing = good
+            .lines()
+            .filter(|l| !l.starts_with("weather"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(ScenarioSpec::decode(&missing)
+            .unwrap_err()
+            .contains("missing key \"weather\""));
+        let bad_pair = good.replace("frames = 400 700", "frames = 400");
+        assert!(ScenarioSpec::decode(&bad_pair)
+            .unwrap_err()
+            .contains("expected two integers"));
+        // Comments and blank lines are tolerated.
+        let commented = format!("# header\n\n{good}");
+        assert_eq!(
+            ScenarioSpec::decode(&commented),
+            Ok(ScenarioSpec::stable_scene())
+        );
     }
 }

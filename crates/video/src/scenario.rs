@@ -33,6 +33,18 @@ impl std::fmt::Display for Environment {
     }
 }
 
+impl std::str::FromStr for Environment {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "indoor" => Ok(Environment::Indoor),
+            "outdoor" => Ok(Environment::Outdoor),
+            other => Err(format!("unknown environment {other:?}")),
+        }
+    }
+}
+
 /// One background segment of a scenario: from `start` (fraction of the video)
 /// until the next segment begins, the scene uses these appearance parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

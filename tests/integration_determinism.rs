@@ -302,6 +302,50 @@ fn golden_chaos_resilience_csv_is_byte_identical_across_runs_and_jobs() {
     }
 }
 
+/// Golden determinism for the hunt artifact: the coverage-guided
+/// adversarial search's complete findings CSV must be byte-identical across
+/// repeat invocations, across `--jobs 1/2/4/8` *and* across the DES /
+/// lockstep execution modes — the mutate → evaluate → bucket → minimize
+/// loop is pure in `(context, options)` by construction, and any
+/// worker-count-dependent fold order or mode-dependent scheduling shows up
+/// here as a byte diff.
+#[test]
+fn golden_hunt_findings_csv_is_byte_identical_across_runs_jobs_and_modes() {
+    use shift_experiments::search::{self, HuntOptions};
+    let options = HuntOptions::smoke();
+    let run = |jobs: usize, mode: ExecutionMode| {
+        let ctx = ExperimentContext::quick(42)
+            .with_jobs(jobs)
+            .with_execution_mode(mode);
+        search::summary_csv(&ctx, &options).expect("hunt summary builds")
+    };
+    let sequential = run(1, ExecutionMode::EventDriven);
+    assert_eq!(
+        sequential,
+        run(1, ExecutionMode::EventDriven),
+        "hunt findings CSV must not drift"
+    );
+    for jobs in [2, 4, 8] {
+        assert_eq!(
+            run(jobs, ExecutionMode::EventDriven),
+            sequential,
+            "hunt CSV must be byte-identical at --jobs {jobs}"
+        );
+    }
+    assert_eq!(
+        run(2, ExecutionMode::Lockstep),
+        sequential,
+        "hunt CSV must be byte-identical under --lockstep"
+    );
+    assert!(sequential.starts_with(shift_metrics::HUNT_CSV_HEADER));
+    // Seed 42 deterministically catches failures the fixed stress grid
+    // cannot express (its scenarios all run on a healthy platform).
+    assert!(
+        sequential.lines().count() > 1,
+        "the smoke hunt at seed 42 must catch at least one finding"
+    );
+}
+
 /// The parallel experiment executor must be invisible in every artifact:
 /// `--jobs 1/2/4/8` produce byte-identical stress summary CSVs and identical
 /// fleet scaling outcomes. Any worker-count-dependent behaviour anywhere in

