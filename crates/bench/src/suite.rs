@@ -19,22 +19,23 @@
 //! | `similarity/frame` | the stateless full-frame + crop similarity helper |
 //! | `loader/lru_churn` | an LRU load + eviction cycle under memory pressure |
 //! | `fleet/step` | one shared-SoC fleet scheduling step (3 streams) |
+//! | `fleet/step_adversarial` | the same step over the worst-case fleet: the minimized hunt-corpus scenarios under a scripted fault plan |
 
 use crate::{bench_characterization, bench_engine};
-use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetBuilder, FleetConfig, StreamSpec};
 use shift_core::{
     CandidatePair, ConfidenceGraph, ContextDetector, DynamicModelLoader, GraphConfig, Scheduler,
     ShiftConfig,
 };
 use shift_metrics::TimingRow;
 use shift_models::ModelId;
-use shift_soc::AcceleratorId;
+use shift_soc::{AcceleratorId, FaultPlan, FaultSpec};
 use shift_video::Scenario;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// The suite's bench names, in run order. Stable: the CI gate keys on them.
-pub const BENCH_NAMES: [&str; 7] = [
+pub const BENCH_NAMES: [&str; 8] = [
     "confidence_graph/predict",
     "scheduler/argmax",
     "ncc/context_detect",
@@ -42,7 +43,49 @@ pub const BENCH_NAMES: [&str; 7] = [
     "similarity/frame",
     "loader/lru_churn",
     "fleet/step",
+    "fleet/step_adversarial",
 ];
+
+/// The stream set and scripted fault plan behind `fleet/step_adversarial`.
+///
+/// `repro -- bench` derives one from the committed hunt regression corpus
+/// (`tests/corpus/*.case`), so the gated number tracks the nastiest known
+/// workloads; [`synthetic`](Self::synthetic) is the built-in fallback with
+/// the same shape for contexts that cannot reach the corpus files.
+#[derive(Debug, Clone)]
+pub struct AdversarialFixture {
+    /// Streams of the worst-case fleet.
+    pub specs: Vec<StreamSpec>,
+    /// The fault plan the fleet steps under, scripted over the fleet's
+    /// tick clock (total frames admitted across streams).
+    pub plan: FaultPlan,
+}
+
+impl AdversarialFixture {
+    /// A corpus-shaped fallback: hard scenario presets under a mixed fault
+    /// plan (dropouts + DVFS clamp + memory squeeze + telemetry glitches)
+    /// spanning the whole run. Pure in `(seed, frames)`.
+    pub fn synthetic(seed: u64, frames: usize) -> Self {
+        let specs: Vec<StreamSpec> = [
+            Scenario::scenario_2(),
+            Scenario::scenario_4(),
+            Scenario::scenario_6(),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, scenario)| {
+            StreamSpec::new(
+                format!("adv-s{i}"),
+                scenario.with_num_frames(frames),
+                ShiftConfig::paper_defaults().with_accuracy_goal(0.2),
+            )
+        })
+        .collect();
+        let horizon = (frames * specs.len()) as u64;
+        let plan = FaultPlan::generate(seed ^ 0xADE5, &FaultSpec::mixed(horizon));
+        Self { specs, plan }
+    }
+}
 
 /// Suite sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,10 +144,23 @@ fn measure(name: &str, options: &SuiteOptions, mut op: impl FnMut()) -> TimingRo
     TimingRow::new(name, best, options.samples.max(1), iters)
 }
 
+/// Runs the whole suite with the built-in synthetic adversarial fixture.
+/// See [`run_suite_with`] for the corpus-driven variant `repro -- bench`
+/// uses.
+pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
+    let fixture = AdversarialFixture::synthetic(seed, options.fleet_frames);
+    run_suite_with(seed, options, &fixture)
+}
+
 /// Runs the whole suite and returns one row per [`BENCH_NAMES`] entry, in
 /// order. Timings are hardware-dependent; everything else about the rows
-/// (names, count, order) is stable.
-pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
+/// (names, count, order) is stable. `fixture` supplies the worst-case
+/// fleet behind `fleet/step_adversarial`.
+pub fn run_suite_with(
+    seed: u64,
+    options: &SuiteOptions,
+    fixture: &AdversarialFixture,
+) -> Vec<TimingRow> {
     let characterization = bench_characterization(options.characterization_samples, seed);
     let graph = ConfidenceGraph::build(&characterization.samples, GraphConfig::paper_defaults());
     let mut rows = Vec::with_capacity(BENCH_NAMES.len());
@@ -203,14 +259,12 @@ pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
                 ShiftConfig::paper_defaults().with_accuracy_goal(0.2),
             )
         })
-        .collect();
-        FleetRuntime::new(
-            bench_engine(seed),
-            &characterization,
-            FleetConfig::round_robin(),
-            specs,
-        )
-        .expect("bench fleet builds")
+        .collect::<Vec<_>>();
+        FleetBuilder::new(bench_engine(seed), &characterization)
+            .config(FleetConfig::round_robin())
+            .streams(specs)
+            .build()
+            .expect("bench fleet builds")
     };
     let mut fleet = build_fleet();
     rows.push(measure(BENCH_NAMES[6], options, || {
@@ -218,6 +272,27 @@ pub fn run_suite(seed: u64, options: &SuiteOptions) -> Vec<TimingRow> {
             fleet = build_fleet();
         }
         black_box(fleet.step().expect("fleet step succeeds"));
+    }));
+
+    // fleet/step_adversarial — the same per-step cost over the worst-case
+    // fleet: every stream is a minimized hunt-corpus scenario (or the
+    // synthetic stand-in) and a scripted fault plan keeps dropping
+    // accelerators, clamping DVFS and squeezing pools while the scheduler
+    // re-plans around it. Same rebuild-on-exhaustion protocol as above.
+    let build_adversarial = || {
+        FleetBuilder::new(bench_engine(seed), &characterization)
+            .config(FleetConfig::round_robin())
+            .streams(fixture.specs.iter().cloned())
+            .fault_plan(fixture.plan.clone())
+            .build()
+            .expect("adversarial bench fleet builds")
+    };
+    let mut adversarial = build_adversarial();
+    rows.push(measure(BENCH_NAMES[7], options, || {
+        if adversarial.is_done() {
+            adversarial = build_adversarial();
+        }
+        black_box(adversarial.step().expect("adversarial fleet step succeeds"));
     }));
 
     rows
@@ -246,6 +321,28 @@ mod tests {
             assert!(row.ns_per_op.is_finite());
             assert!(row.iters_per_sample >= 1);
         }
+    }
+
+    #[test]
+    fn synthetic_adversarial_fixture_is_pure_and_faulted() {
+        let a = AdversarialFixture::synthetic(7, 30);
+        let b = AdversarialFixture::synthetic(7, 30);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.specs.len(), b.specs.len());
+        assert!(!a.specs.is_empty());
+        // The fixture must actually script faults — an empty plan would
+        // degrade `fleet/step_adversarial` to a copy of `fleet/step`.
+        assert_ne!(a.plan, FaultPlan::generate(7, &FaultSpec::none(90)));
+    }
+
+    #[test]
+    fn suite_accepts_an_external_adversarial_fixture() {
+        let options = tiny_options();
+        let fixture = AdversarialFixture::synthetic(11, options.fleet_frames);
+        let rows = run_suite_with(5, &options, &fixture);
+        let row = rows.last().expect("suite is non-empty");
+        assert_eq!(row.name, "fleet/step_adversarial");
+        assert!(row.ns_per_op > 0.0);
     }
 
     #[test]

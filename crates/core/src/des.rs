@@ -24,7 +24,9 @@
 //!   what makes the two execution modes bit-identical (see `fleet.rs`).
 //! * `rank` — [`EventKind::rank`]: fault edges fire before frame work at the
 //!   same tick (matching the lockstep loop, which advances the injector
-//!   before admission), and within one frame the lifecycle runs
+//!   before admission), session departures and arrivals land next (detach
+//!   frees capacity before the same tick's attach is admission-checked),
+//!   and within one frame the lifecycle runs
 //!   arrival → load-complete → inference-complete.
 //! * `stream` — lower stream index first, mirroring the lockstep tie-break.
 //! * `seq` — a queue-assigned monotonic sequence number, so two events that
@@ -61,20 +63,28 @@ pub enum EventKind {
     /// A scripted fault or recovery edge is due (rank 0: platform state
     /// changes land before any frame work at the same tick).
     FaultEdge,
-    /// A stream's next frame is admitted (rank 1).
+    /// A session leaves the fleet (rank 1: departures free capacity before
+    /// the same tick's arrivals are admission-checked).
+    SessionDetach,
+    /// A session asks to join the fleet (rank 2: admission control sees the
+    /// post-detach state but runs before any frame work).
+    SessionAttach,
+    /// A stream's next frame is admitted (rank 3).
     FrameArrival,
     /// The frame's model load (or resident fast path) finished; inference
-    /// may start (rank 2).
+    /// may start (rank 4).
     LoadComplete,
     /// The frame's inference finished; the outcome can be committed
-    /// (rank 3).
+    /// (rank 5).
     InferenceComplete,
 }
 
 impl EventKind {
     /// All kinds, in rank order.
-    pub const ALL: [EventKind; 4] = [
+    pub const ALL: [EventKind; 6] = [
         EventKind::FaultEdge,
+        EventKind::SessionDetach,
+        EventKind::SessionAttach,
         EventKind::FrameArrival,
         EventKind::LoadComplete,
         EventKind::InferenceComplete,
@@ -84,9 +94,11 @@ impl EventKind {
     pub const fn rank(self) -> u8 {
         match self {
             EventKind::FaultEdge => 0,
-            EventKind::FrameArrival => 1,
-            EventKind::LoadComplete => 2,
-            EventKind::InferenceComplete => 3,
+            EventKind::SessionDetach => 1,
+            EventKind::SessionAttach => 2,
+            EventKind::FrameArrival => 3,
+            EventKind::LoadComplete => 4,
+            EventKind::InferenceComplete => 5,
         }
     }
 
@@ -94,6 +106,8 @@ impl EventKind {
     pub const fn label(self) -> &'static str {
         match self {
             EventKind::FaultEdge => "fault_edge",
+            EventKind::SessionDetach => "session_detach",
+            EventKind::SessionAttach => "session_attach",
             EventKind::FrameArrival => "frame_arrival",
             EventKind::LoadComplete => "load_complete",
             EventKind::InferenceComplete => "inference_complete",
@@ -261,8 +275,10 @@ mod tests {
     #[test]
     fn ranks_follow_the_documented_order() {
         let ranks: Vec<u8> = EventKind::ALL.iter().map(|k| k.rank()).collect();
-        assert_eq!(ranks, [0, 1, 2, 3]);
+        assert_eq!(ranks, [0, 1, 2, 3, 4, 5]);
         assert_eq!(EventKind::FaultEdge.label(), "fault_edge");
+        assert_eq!(EventKind::SessionDetach.label(), "session_detach");
+        assert_eq!(EventKind::SessionAttach.label(), "session_attach");
     }
 
     #[test]

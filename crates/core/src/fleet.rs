@@ -71,6 +71,87 @@ impl StreamSpec {
     }
 }
 
+/// Opaque handle to one stream slot inside a [`FleetRuntime`].
+///
+/// Handles replace the raw `usize` indices of the deprecated `stream_*`
+/// accessors: they are minted by [`FleetRuntime::attach_stream`] (or listed
+/// by [`FleetRuntime::handles`]) and stay valid for the fleet's lifetime,
+/// including after the stream detaches. The [`FleetFrameOutcome::stream`]
+/// index of an outcome converts back via [`StreamHandle::from_index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamHandle(pub(crate) usize);
+
+impl StreamHandle {
+    /// The handle's slot index (the value [`FleetFrameOutcome::stream`]
+    /// carries).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a handle from a slot index (e.g. from
+    /// [`FleetFrameOutcome::stream`]). The handle is only meaningful for the
+    /// fleet the index came from.
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+/// Read-only view of one stream slot, keyed by [`StreamHandle`] — the
+/// replacement for the deprecated index-based `stream_*` accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamView<'a> {
+    state: &'a StreamState,
+}
+
+impl StreamView<'_> {
+    /// The stream's label.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// The stream's accuracy goal.
+    pub fn goal(&self) -> f64 {
+        self.state.agent.config().accuracy_goal
+    }
+
+    /// The stream's agent (for inspection).
+    pub fn agent(&self) -> &StreamAgent {
+        &self.state.agent
+    }
+
+    /// Frames processed so far.
+    pub fn frames_processed(&self) -> usize {
+        self.state.processed
+    }
+
+    /// Total frames in the stream's scenario.
+    pub fn total_frames(&self) -> usize {
+        self.state.total_frames
+    }
+
+    /// Resilience counters (all zero on a healthy run).
+    pub fn resilience(&self) -> ResilienceCounters {
+        self.state.resilience
+    }
+
+    /// Whether the stream was detached before draining its scenario.
+    pub fn is_detached(&self) -> bool {
+        self.state.detached
+    }
+
+    /// Whether the stream has no pending frame (drained or detached). Idle
+    /// streams cost nothing per step and hold no admission slot.
+    pub fn is_idle(&self) -> bool {
+        self.state.next_frame.is_none()
+    }
+
+    /// Virtual time at which the stream's last processed frame completed,
+    /// seconds (0 before the first frame).
+    pub fn clock_s(&self) -> f64 {
+        self.state.clock_s
+    }
+}
+
 /// Fleet-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetConfig {
@@ -181,6 +262,9 @@ struct StreamState {
     processed: usize,
     total_frames: usize,
     resilience: ResilienceCounters,
+    /// Whether the stream was detached (its slot is retained for handle
+    /// stability, but it never re-enters admission).
+    detached: bool,
 }
 
 /// Drives N concurrent SHIFT streams against a single shared
@@ -261,12 +345,26 @@ impl FleetRuntime {
         if specs.is_empty() {
             return Err(ShiftError::EmptyFleet);
         }
-        let mut fleet = Self {
+        let mut fleet = Self::empty(engine, config);
+        for spec in specs {
+            fleet.attach_stream(characterization, spec)?;
+        }
+        fleet.prime_des();
+        Ok(fleet)
+    }
+
+    /// A fleet with no streams yet — the starting point of the dynamic
+    /// session path ([`FleetService`](crate::service::FleetService)), where
+    /// streams join via [`FleetRuntime::attach_stream`] instead of at
+    /// construction. The batch constructor [`FleetRuntime::new`] keeps
+    /// rejecting empty spec lists.
+    pub fn empty(engine: ExecutionEngine, config: FleetConfig) -> Self {
+        Self {
             engine,
             loader: DynamicModelLoader::new(),
             occupancy: OccupancyTracker::new(),
             arbiter: MemoryArbiter::new(),
-            streams: Vec::with_capacity(specs.len()),
+            streams: Vec::new(),
             config,
             injector: None,
             steps: 0,
@@ -275,42 +373,88 @@ impl FleetRuntime {
             ready: Vec::new(),
             stream_polls: 0,
             trace: None,
-        };
-        for spec in specs {
-            let mut agent = StreamAgent::new(characterization, spec.config)?;
-            let initial = agent.current_pair();
-            // Pre-load with pin protection: never steal another stream's
-            // initial model. If the pool cannot take this stream's initial
-            // pair alongside the pinned residents, the load is deferred to
-            // the first frame's degrade path.
-            let protected = fleet.arbiter.pinned_models(initial.accelerator);
-            match fleet
-                .loader
-                .ensure_loaded_protected(&mut fleet.engine, initial, &protected)
-            {
-                Ok(outcome) => {
-                    agent.charge_pending_load(outcome.load_time_s, outcome.load_energy_j);
-                }
-                Err(SocError::OutOfMemory { .. }) => {}
-                Err(other) => return Err(other.into()),
-            }
-            fleet.arbiter.pin(initial.model, initial.accelerator);
-            let mut stream = spec.scenario.stream();
-            let next_frame = stream.next().map(Box::new);
-            let total_frames = spec.scenario.num_frames();
-            fleet.streams.push(StreamState {
-                name: spec.name,
-                agent,
-                stream,
-                next_frame,
-                clock_s: 0.0,
-                processed: 0,
-                total_frames,
-                resilience: ResilienceCounters::default(),
-            });
         }
-        fleet.prime_des();
-        Ok(fleet)
+    }
+
+    /// Attaches one stream to the fleet, at construction or mid-run, and
+    /// returns its handle.
+    ///
+    /// The stream's initial pair is pre-loaded with pin protection: it never
+    /// steals another stream's pinned model, and if the pool cannot take the
+    /// pair alongside the pinned residents the load is deferred to the first
+    /// frame's degrade path. A stream attached mid-run enters the virtual
+    /// timeline at the fleet's current makespan (0 at construction), so it
+    /// cannot retroactively contend with work that already completed.
+    ///
+    /// # Errors
+    ///
+    /// The per-stream construction errors of
+    /// [`ShiftRuntime::new`](crate::runtime::ShiftRuntime::new), plus
+    /// unrecoverable loader failures.
+    pub fn attach_stream(
+        &mut self,
+        characterization: &Characterization,
+        spec: StreamSpec,
+    ) -> Result<StreamHandle, ShiftError> {
+        let mut agent = StreamAgent::new(characterization, spec.config)?;
+        let initial = agent.current_pair();
+        let protected = self.arbiter.pinned_models(initial.accelerator);
+        match self
+            .loader
+            .ensure_loaded_protected(&mut self.engine, initial, &protected)
+        {
+            Ok(outcome) => {
+                agent.charge_pending_load(outcome.load_time_s, outcome.load_energy_j);
+            }
+            Err(SocError::OutOfMemory { .. }) => {}
+            Err(other) => return Err(other.into()),
+        }
+        self.arbiter.pin(initial.model, initial.accelerator);
+        let mut stream = spec.scenario.stream();
+        let next_frame = stream.next().map(Box::new);
+        let total_frames = spec.scenario.num_frames();
+        let clock_s = self.makespan_s();
+        let index = self.streams.len();
+        let has_frame = next_frame.is_some();
+        self.streams.push(StreamState {
+            name: spec.name,
+            agent,
+            stream,
+            next_frame,
+            clock_s,
+            processed: 0,
+            total_frames,
+            resilience: ResilienceCounters::default(),
+            detached: false,
+        });
+        if has_frame {
+            self.insert_ready(index);
+        }
+        Ok(StreamHandle(index))
+    }
+
+    /// Detaches the stream behind `handle`: its pinned pair is released, its
+    /// remaining frames are dropped, and it leaves the admission (ready)
+    /// set. The slot is retained — the handle stays valid for inspecting the
+    /// stream's history — and detaching an already-detached stream is a
+    /// no-op. Idle slots cost nothing per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle does not belong to this fleet.
+    pub fn detach_stream(&mut self, handle: StreamHandle) {
+        let index = handle.0;
+        let state = &mut self.streams[index];
+        if state.detached {
+            return;
+        }
+        state.detached = true;
+        state.next_frame = None;
+        let pair = state.agent.current_pair();
+        self.arbiter.unpin(pair.model, pair.accelerator);
+        if let Ok(slot) = self.ready.binary_search(&index) {
+            self.ready.remove(slot);
+        }
     }
 
     /// Attaches a scripted fault plan: the injector is advanced once per
@@ -370,16 +514,58 @@ impl FleetRuntime {
         self.injector.as_ref()
     }
 
+    /// Read-only view of the stream behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle does not belong to this fleet.
+    pub fn stream(&self, handle: StreamHandle) -> StreamView<'_> {
+        StreamView {
+            state: &self.streams[handle.0],
+        }
+    }
+
+    /// Handles of every stream slot ever attached, in attach order
+    /// (detached slots included — their views retain the stream's history).
+    pub fn handles(&self) -> Vec<StreamHandle> {
+        (0..self.streams.len()).map(StreamHandle).collect()
+    }
+
+    /// Number of streams still attached (not detached; drained streams
+    /// count until they detach).
+    pub fn attached_count(&self) -> usize {
+        self.streams.iter().filter(|s| !s.detached).count()
+    }
+
+    /// Frames admitted so far — the fleet's discrete clock, the `time` axis
+    /// every scheduled event (fault edges, session attach/detach) is keyed
+    /// on.
+    pub fn ticks(&self) -> u64 {
+        self.steps
+    }
+
+    /// Advances the discrete clock to `tick` without admitting any frames.
+    /// Used by the service loop to fast-forward an idle fleet to its next
+    /// scheduled session event; a tick at or behind the current clock is a
+    /// no-op.
+    pub(crate) fn advance_ticks_to(&mut self, tick: u64) {
+        self.steps = self.steps.max(tick);
+    }
+
     /// Resilience counters of stream `index` (all zero on a healthy run).
     ///
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[deprecated(
+        note = "use `stream(handle).resilience()` — index accessors are replaced \
+                         by session handles"
+    )]
     pub fn stream_resilience(&self, index: usize) -> ResilienceCounters {
         self.streams[index].resilience
     }
 
-    /// Number of streams in the fleet.
+    /// Number of stream slots in the fleet (attached or detached).
     pub fn stream_count(&self) -> usize {
         self.streams.len()
     }
@@ -404,6 +590,10 @@ impl FleetRuntime {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[deprecated(
+        note = "use `stream(handle).name()` — index accessors are replaced by \
+                         session handles"
+    )]
     pub fn stream_name(&self, index: usize) -> &str {
         &self.streams[index].name
     }
@@ -413,6 +603,10 @@ impl FleetRuntime {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[deprecated(
+        note = "use `stream(handle).goal()` — index accessors are replaced by \
+                         session handles"
+    )]
     pub fn stream_goal(&self, index: usize) -> f64 {
         self.streams[index].agent.config().accuracy_goal
     }
@@ -422,6 +616,10 @@ impl FleetRuntime {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[deprecated(
+        note = "use `stream(handle).agent()` — index accessors are replaced by \
+                         session handles"
+    )]
     pub fn stream_agent(&self, index: usize) -> &StreamAgent {
         &self.streams[index].agent
     }
@@ -431,6 +629,10 @@ impl FleetRuntime {
     /// # Panics
     ///
     /// Panics when `index` is out of range.
+    #[deprecated(
+        note = "use `stream(handle).frames_processed()` — index accessors are \
+                         replaced by session handles"
+    )]
     pub fn frames_processed(&self, index: usize) -> usize {
         self.streams[index].processed
     }
@@ -992,6 +1194,129 @@ impl FleetRuntime {
     }
 }
 
+/// One builder for every runtime the crate offers — batch fleets, the
+/// single-stream runtime and the long-running session service — replacing
+/// the `FleetRuntime::new(...)` + `with_fault_plan` + `with_execution_mode`
+/// call chains that used to be hand-assembled at every call site.
+///
+/// ```
+/// use shift_core::prelude::*;
+/// use shift_core::fleet::{FleetBuilder, StreamSpec};
+/// use shift_models::{ModelZoo, ResponseModel};
+/// use shift_soc::{ExecutionEngine, Platform};
+/// use shift_video::{CharacterizationDataset, Scenario};
+///
+/// let engine = ExecutionEngine::new(
+///     Platform::xavier_nx_with_oak(),
+///     ModelZoo::standard(),
+///     ResponseModel::new(5),
+/// );
+/// let characterization = characterize(&engine, &CharacterizationDataset::generate(120, 5));
+/// let mut fleet = FleetBuilder::new(engine, &characterization)
+///     .stream(StreamSpec::new(
+///         "a",
+///         Scenario::scenario_3().with_num_frames(10),
+///         ShiftConfig::paper_defaults(),
+///     ))
+///     .execution_mode(ExecutionMode::EventDriven)
+///     .build()?;
+/// assert_eq!(fleet.run_to_completion()?.len(), 10);
+/// # Ok::<(), shift_core::ShiftError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetBuilder<'a> {
+    pub(crate) engine: ExecutionEngine,
+    pub(crate) characterization: &'a Characterization,
+    pub(crate) config: FleetConfig,
+    pub(crate) specs: Vec<StreamSpec>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) mode: ExecutionMode,
+}
+
+impl<'a> FleetBuilder<'a> {
+    /// Starts a builder over a shared engine and offline characterization.
+    pub fn new(engine: ExecutionEngine, characterization: &'a Characterization) -> Self {
+        Self {
+            engine,
+            characterization,
+            config: FleetConfig::default(),
+            specs: Vec::new(),
+            fault_plan: None,
+            mode: ExecutionMode::default(),
+        }
+    }
+
+    /// Sets the fleet-level configuration (default: round-robin admission).
+    pub fn config(mut self, config: FleetConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds one stream spec.
+    pub fn stream(mut self, spec: StreamSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds a batch of stream specs.
+    pub fn streams(mut self, specs: impl IntoIterator<Item = StreamSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Attaches a scripted fault plan (see
+    /// [`FleetRuntime::with_fault_plan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Selects the inner loop (see [`FleetRuntime::with_execution_mode`];
+    /// event-driven is the default).
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builds the batch fleet runtime.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`FleetRuntime::new`], including
+    /// [`ShiftError::EmptyFleet`] when no streams were added (the dynamic
+    /// path, [`FleetBuilder::build_service`], is the one that may start
+    /// empty).
+    pub fn build(self) -> Result<FleetRuntime, ShiftError> {
+        let mut fleet =
+            FleetRuntime::new(self.engine, self.characterization, self.config, self.specs)?;
+        if let Some(plan) = self.fault_plan {
+            fleet = fleet.with_fault_plan(plan);
+        }
+        Ok(fleet.with_execution_mode(self.mode))
+    }
+
+    /// Builds a single-stream [`ShiftRuntime`](crate::runtime::ShiftRuntime)
+    /// sharing the builder's engine, characterization and fault plan — the
+    /// chaos and hunt harnesses' path. Stream specs added to the builder are
+    /// ignored: the single-stream runtime is driven frame-by-frame by its
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`ShiftRuntime::new`](crate::runtime::ShiftRuntime::new).
+    pub fn build_solo(
+        self,
+        config: ShiftConfig,
+    ) -> Result<crate::runtime::ShiftRuntime, ShiftError> {
+        let runtime =
+            crate::runtime::ShiftRuntime::new(self.engine, self.characterization, config)?;
+        Ok(match self.fault_plan {
+            Some(plan) => runtime.with_fault_plan(plan),
+            None => runtime,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1069,11 +1394,12 @@ mod tests {
         let outcomes = fleet.run_to_completion().unwrap();
         assert_eq!(outcomes.len(), 95);
         assert!(fleet.is_done());
-        assert_eq!(fleet.frames_processed(0), 40);
-        assert_eq!(fleet.frames_processed(1), 25);
-        assert_eq!(fleet.frames_processed(2), 30);
-        assert_eq!(fleet.stream_name(1), "easy");
-        assert_eq!(fleet.stream_goal(1), 0.35);
+        let handles = fleet.handles();
+        assert_eq!(fleet.stream(handles[0]).frames_processed(), 40);
+        assert_eq!(fleet.stream(handles[1]).frames_processed(), 25);
+        assert_eq!(fleet.stream(handles[2]).frames_processed(), 30);
+        assert_eq!(fleet.stream(handles[1]).name(), "easy");
+        assert_eq!(fleet.stream(handles[1]).goal(), 0.35);
         // Per-stream frame indices are contiguous.
         for stream in 0..3 {
             let indices: Vec<usize> = outcomes
@@ -1245,8 +1571,10 @@ mod tests {
             .with_execution_mode(mode);
             assert_eq!(fleet.execution_mode(), mode);
             let outcomes = fleet.run_to_completion().unwrap();
-            let resilience: Vec<ResilienceCounters> = (0..fleet.stream_count())
-                .map(|i| fleet.stream_resilience(i))
+            let resilience: Vec<ResilienceCounters> = fleet
+                .handles()
+                .into_iter()
+                .map(|h| fleet.stream(h).resilience())
                 .collect();
             (outcomes, resilience, fleet.makespan_s())
         };
@@ -1330,7 +1658,14 @@ mod tests {
             .unwrap()
             .with_execution_mode(mode);
             // Drain the two short streams plus one round of the others.
-            while !fleet.is_done() && fleet.frames_processed(4) + fleet.frames_processed(5) < 4 {
+            let short = [StreamHandle::from_index(4), StreamHandle::from_index(5)];
+            while !fleet.is_done()
+                && short
+                    .iter()
+                    .map(|&h| fleet.stream(h).frames_processed())
+                    .sum::<usize>()
+                    < 4
+            {
                 fleet.step().unwrap();
             }
             let before = fleet.stream_polls();
@@ -1376,7 +1711,125 @@ mod tests {
         let mut fleet = FleetRuntime::new(engine(18), &characterization, config, specs).unwrap();
         let outcomes = fleet.run_to_completion().unwrap();
         assert_eq!(outcomes.len(), 40);
-        assert_eq!(fleet.frames_processed(0), 20);
-        assert_eq!(fleet.frames_processed(1), 20);
+        for handle in fleet.handles() {
+            assert_eq!(fleet.stream(handle).frames_processed(), 20);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_index_shims_agree_with_the_handle_accessors() {
+        let characterization = characterization(31);
+        let mut fleet = FleetBuilder::new(engine(31), &characterization)
+            .stream(StreamSpec::new(
+                "shim",
+                Scenario::scenario_3().with_num_frames(6),
+                ShiftConfig::paper_defaults().with_accuracy_goal(0.3),
+            ))
+            .build()
+            .unwrap();
+        fleet.run_to_completion().unwrap();
+        let handle = fleet.handles()[0];
+        assert_eq!(fleet.stream_name(0), fleet.stream(handle).name());
+        assert_eq!(fleet.stream_goal(0), fleet.stream(handle).goal());
+        assert_eq!(
+            fleet.frames_processed(0),
+            fleet.stream(handle).frames_processed()
+        );
+        assert_eq!(
+            fleet.stream_resilience(0),
+            fleet.stream(handle).resilience()
+        );
+        assert_eq!(
+            fleet.stream_agent(0).config().accuracy_goal,
+            fleet.stream(handle).agent().config().accuracy_goal
+        );
+    }
+
+    #[test]
+    fn builder_matches_the_hand_assembled_chain() {
+        let characterization = characterization(32);
+        let specs = || {
+            vec![
+                StreamSpec::new(
+                    "a",
+                    Scenario::scenario_1().with_num_frames(20),
+                    ShiftConfig::paper_defaults(),
+                ),
+                StreamSpec::new(
+                    "b",
+                    Scenario::scenario_3().with_num_frames(15),
+                    ShiftConfig::paper_defaults().with_accuracy_goal(0.35),
+                ),
+            ]
+        };
+        let plan = shift_soc::FaultPlan::generate(4, &shift_soc::FaultSpec::mixed(35));
+        let mut chained = FleetRuntime::new(
+            engine(32),
+            &characterization,
+            FleetConfig::default().with_fairness(0.7),
+            specs(),
+        )
+        .unwrap()
+        .with_fault_plan(plan.clone())
+        .with_execution_mode(ExecutionMode::Lockstep);
+        let mut built = FleetBuilder::new(engine(32), &characterization)
+            .config(FleetConfig::default().with_fairness(0.7))
+            .streams(specs())
+            .fault_plan(plan)
+            .execution_mode(ExecutionMode::Lockstep)
+            .build()
+            .unwrap();
+        assert_eq!(
+            chained.run_to_completion().unwrap(),
+            built.run_to_completion().unwrap()
+        );
+    }
+
+    #[test]
+    fn mid_run_attach_and_detach_keep_the_fleet_consistent() {
+        let characterization = characterization(33);
+        let mut fleet = FleetBuilder::new(engine(33), &characterization)
+            .stream(StreamSpec::new(
+                "base",
+                Scenario::scenario_3().with_num_frames(12),
+                ShiftConfig::paper_defaults(),
+            ))
+            .build()
+            .unwrap();
+        for _ in 0..4 {
+            fleet.step().unwrap();
+        }
+        let late = fleet
+            .attach_stream(
+                &characterization,
+                StreamSpec::new(
+                    "late",
+                    Scenario::scenario_2().with_num_frames(8).with_seed(99),
+                    ShiftConfig::paper_defaults().with_accuracy_goal(0.3),
+                ),
+            )
+            .unwrap();
+        assert_eq!(fleet.stream_count(), 2);
+        assert_eq!(fleet.attached_count(), 2);
+        for _ in 0..6 {
+            fleet.step().unwrap();
+        }
+        let late_frames = fleet.stream(late).frames_processed();
+        assert!(late_frames > 0, "late stream must get admitted");
+        fleet.detach_stream(late);
+        assert!(fleet.stream(late).is_detached());
+        assert_eq!(fleet.attached_count(), 1);
+        // Detaching is idempotent and the remaining stream still drains.
+        fleet.detach_stream(late);
+        fleet.run_to_completion().unwrap();
+        assert!(fleet.is_done());
+        assert_eq!(
+            fleet.stream(late).frames_processed(),
+            late_frames,
+            "a detached stream processes nothing further"
+        );
+        let base = fleet.handles()[0];
+        assert_eq!(fleet.stream(base).frames_processed(), 12);
     }
 }

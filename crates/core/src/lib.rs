@@ -56,13 +56,17 @@ pub mod loader;
 pub mod predictor;
 pub mod runtime;
 pub mod scheduler;
+pub mod service;
 pub mod traits;
 
 pub use characterize::{characterize, Characterization, ModelObservation, SampleObservation};
 pub use config::{Knobs, ShiftConfig};
 pub use context::ContextDetector;
 pub use des::{Event, EventKey, EventKind, EventQueue, ExecutionMode, TraceEvent};
-pub use fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
+pub use fleet::{
+    FleetBuilder, FleetConfig, FleetFrameOutcome, FleetRuntime, StreamHandle, StreamSpec,
+    StreamView,
+};
 pub use graph::{ConfidenceGraph, GraphConfig, Prediction};
 pub use loader::{DynamicModelLoader, LoadOutcome};
 pub use predictor::{
@@ -70,6 +74,10 @@ pub use predictor::{
 };
 pub use runtime::{FrameOutcome, LoadCharge, ResilienceCounters, ShiftRuntime, StreamAgent};
 pub use scheduler::{CandidatePair, Decision, Scheduler};
+pub use service::{
+    AttachRequest, DeadlineClass, FleetService, RejectReason, ServicePolicy, SessionEvent,
+    SessionId, SessionRecord, SessionRequest,
+};
 pub use traits::{AcceleratorStats, ModelTraits};
 
 /// Convenient glob import for downstream crates and examples.
@@ -77,10 +85,15 @@ pub mod prelude {
     pub use crate::characterize::{characterize, Characterization};
     pub use crate::config::{Knobs, ShiftConfig};
     pub use crate::des::{EventKind, EventQueue, ExecutionMode};
-    pub use crate::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
+    pub use crate::fleet::{
+        FleetBuilder, FleetConfig, FleetFrameOutcome, FleetRuntime, StreamHandle, StreamSpec,
+    };
     pub use crate::graph::{ConfidenceGraph, GraphConfig};
     pub use crate::runtime::{FrameOutcome, ResilienceCounters, ShiftRuntime};
     pub use crate::scheduler::{CandidatePair, Scheduler};
+    pub use crate::service::{
+        AttachRequest, DeadlineClass, FleetService, ServicePolicy, SessionEvent, SessionRequest,
+    };
     pub use crate::ShiftError;
 }
 

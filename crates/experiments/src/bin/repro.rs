@@ -17,7 +17,11 @@
 //! ablation studies `ablation-predictor`, `ablation-precision`,
 //! `ablation-powermode`, `ablation-relatedwork`, the `extended` scenario
 //! table and the `fleet` multi-stream scaling experiment (collectively
-//! `ablations`), `stress` — the generated-scenario difficulty-grid sweep
+//! `ablations`), `serve` — the fleet-as-a-service session-churn run, which
+//! writes `SERVE_sessions.csv` (one lifecycle row per session: admitted /
+//! degraded / rejected / detached / shed under SLO-aware admission;
+//! byte-identical for any `--jobs` and in both execution modes) —
+//! `stress` — the generated-scenario difficulty-grid sweep
 //! plus fleet soak, which also writes a `BENCH_stress.json` timing snapshot —
 //! `chaos` — the fault-plan × scenario resilience grid, which writes
 //! `CHAOS_resilience.csv` (and, when the same invocation ran `stress`, folds
@@ -50,7 +54,7 @@
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
     ablations, chaos, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, search,
-    stress, table1, table3, table4,
+    serve, stress, table1, table3, table4,
 };
 use std::process::ExitCode;
 
@@ -67,7 +71,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 19] = [
+const ARTIFACTS: [&str; 20] = [
     "table1",
     "table3",
     "table4",
@@ -83,6 +87,7 @@ const ARTIFACTS: [&str; 19] = [
     "ablation-relatedwork",
     "extended",
     "fleet",
+    "serve",
     "stress",
     "chaos",
     "hunt",
@@ -312,6 +317,24 @@ fn main() -> ExitCode {
             "ablation-relatedwork" => ablations::related_work_table(&ctx),
             "extended" => extended::generate(&ctx),
             "fleet" => fleet::generate(&ctx),
+            "serve" => {
+                let options = if smoke {
+                    serve::ServeOptions::smoke()
+                } else {
+                    serve::ServeOptions::full()
+                };
+                match serve::artifact(&ctx, &options) {
+                    Ok(artifact) => {
+                        if let Err(err) = write_atomic("SERVE_sessions.csv", &artifact.csv) {
+                            eprintln!("failed to write SERVE_sessions.csv: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("# wrote SERVE_sessions.csv");
+                        Ok(artifact.table)
+                    }
+                    Err(err) => Err(err),
+                }
+            }
             "stress" => {
                 // `--smoke` shrinks the grid itself; `--quick` alone keeps
                 // the full 64-scenario grid but runs it on scaled-down
@@ -409,7 +432,17 @@ fn main() -> ExitCode {
                 } else {
                     shift_bench::suite::SuiteOptions::full()
                 };
-                let rows = shift_bench::suite::run_suite(seed, &options);
+                // The worst-case `fleet/step_adversarial` fixture replays
+                // the committed hunt corpus; fall back to the synthetic
+                // stand-in (same shape, same bench name) when the corpus
+                // files are out of reach so the snapshot stays complete.
+                let fixture = search::load_corpus_cases(&search::committed_corpus_dir())
+                    .and_then(|cases| search::corpus_bench_fixture(&cases, options.fleet_frames))
+                    .unwrap_or_else(|err| {
+                        eprintln!("# corpus unavailable ({err}); benching the synthetic adversarial fixture");
+                        shift_bench::suite::AdversarialFixture::synthetic(seed, options.fleet_frames)
+                    });
+                let rows = shift_bench::suite::run_suite_with(seed, &options, &fixture);
                 let mode = if smoke { "smoke" } else { "full" };
                 let mut snapshot = shift_bench::snapshot::Snapshot::new(mode, seed, rows.clone());
                 // Fold in the stress timings only when *this invocation*
@@ -485,7 +518,8 @@ fn print_help() {
     eprintln!("standalone gate modes: bench-compare | check-stress");
     eprintln!(
         "--smoke implies --quick, shrinks `stress` to <= 8 scenarios, `chaos` to an 18-cell \
-         grid, `hunt` to a few dozen evaluations and `bench` to CI sizing"
+         grid, `hunt` to a few dozen evaluations, `serve` to two churn traces and `bench` to \
+         CI sizing"
     );
     eprintln!("--jobs N runs sweeps on N workers (artifacts stay byte-identical for any N)");
     eprintln!(

@@ -12,7 +12,7 @@
 //! fleet`.
 
 use crate::{outcome_to_record, ExperimentContext, ExperimentError};
-use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetBuilder, FleetConfig, StreamSpec};
 use shift_core::ShiftConfig;
 use shift_metrics::{FleetSummary, FrameRecord, StreamSummary, Table};
 use shift_video::Scenario;
@@ -94,13 +94,11 @@ pub fn run_specs(
     specs: Vec<StreamSpec>,
 ) -> Result<FleetScalePoint, ExperimentError> {
     let n = specs.len();
-    let mut fleet = FleetRuntime::new(
-        ctx.engine(),
-        ctx.characterization(),
-        FleetConfig::round_robin(),
-        specs,
-    )?
-    .with_execution_mode(ctx.execution_mode());
+    let mut fleet = FleetBuilder::new(ctx.engine(), ctx.characterization())
+        .config(FleetConfig::round_robin())
+        .streams(specs)
+        .execution_mode(ctx.execution_mode())
+        .build()?;
     let outcomes = fleet.run_to_completion()?;
 
     let mut records: Vec<Vec<FrameRecord>> = vec![Vec::new(); n];
@@ -111,14 +109,13 @@ pub fn run_specs(
         waits[o.stream].push(o.queue_wait_s);
         all_latencies.push(o.outcome.latency_s);
     }
-    let per_stream: Vec<StreamSummary> = (0..n)
-        .map(|i| {
-            StreamSummary::new(
-                fleet.stream_name(i),
-                fleet.stream_goal(i),
-                &records[i],
-                &waits[i],
-            )
+    let per_stream: Vec<StreamSummary> = fleet
+        .handles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let view = fleet.stream(handle);
+            StreamSummary::new(view.name(), view.goal(), &records[i], &waits[i])
         })
         .collect();
     let summary = FleetSummary::from_streams(&per_stream, &all_latencies, fleet.makespan_s());

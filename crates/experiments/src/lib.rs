@@ -35,7 +35,11 @@
 //! goal attainment by fault activity. [`search`] goes on the offensive:
 //! a coverage-guided adversarial hunt that mutates scenario × fault specs
 //! toward SHIFT failure signals, minimizes every catch and emits it as a
-//! replayable regression-corpus case.
+//! replayable regression-corpus case. [`serve`] runs the production shape
+//! none of the above do: a long-running [`shift_core::FleetService`] fed a
+//! seeded session-churn trace — attaches, degrade offers, rejections,
+//! detaches and overload sheds under SLO-aware admission control — reduced
+//! to one `SERVE_sessions.csv` lifecycle row per session.
 //!
 //! All of those sweeps fan out on [`executor`], the deterministic parallel
 //! experiment executor: a work-stealing worker pool whose index-ordered
@@ -67,6 +71,7 @@ pub mod fig5;
 pub mod fleet;
 pub mod headline;
 pub mod search;
+pub mod serve;
 pub mod stress;
 pub mod table1;
 pub mod table3;

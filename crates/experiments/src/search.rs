@@ -38,7 +38,7 @@ use crate::workloads::paper_shift_config;
 use crate::{outcome_to_record, ExperimentContext, ExperimentError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use shift_core::ShiftRuntime;
+use shift_core::FleetBuilder;
 use shift_metrics::{FrameRecord, HuntReport, HuntRow, ResilienceRow, ScenarioRow, Table};
 use shift_soc::{AcceleratorId, FaultPlan, FaultSpec, PowerMode};
 use shift_video::generator::{
@@ -261,8 +261,9 @@ pub fn entry_records(
         ScenarioGenerator::new(entry.scenario_seed).generate(&entry.scenario, entry.replica);
     let plan = FaultPlan::generate(entry.fault_seed, &entry.fault);
     let config = paper_shift_config().with_accuracy_goal(entry.scenario.accuracy_goal);
-    let mut runtime =
-        ShiftRuntime::new(ctx.engine(), ctx.characterization(), config)?.with_fault_plan(plan);
+    let mut runtime = FleetBuilder::new(ctx.engine(), ctx.characterization())
+        .fault_plan(plan)
+        .build_solo(config)?;
     let outcomes = runtime.run(scenario.stream())?;
     Ok(outcomes.iter().map(outcome_to_record).collect())
 }
@@ -1131,9 +1132,125 @@ pub fn artifact(
     })
 }
 
+/// Directory of the committed hunt regression corpus (`tests/corpus/`),
+/// resolved relative to this crate so it works from any working directory.
+pub fn committed_corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Loads and decodes every `*.case` file under `dir`, in filename order.
+///
+/// # Errors
+///
+/// Reports an unreadable directory, an empty corpus, or the first file that
+/// fails to decode.
+pub fn load_corpus_cases(dir: &std::path::Path) -> Result<Vec<CorpusCase>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|err| format!("cannot read {}: {err}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "case"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no *.case files under {}", dir.display()));
+    }
+    paths
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+            CorpusCase::decode(&text).map_err(|err| format!("{}: {err}", path.display()))
+        })
+        .collect()
+}
+
+/// Converts the hunt corpus into the bench suite's worst-case fleet fixture
+/// (`fleet/step_adversarial`): one stream per minimized case, stretched to
+/// `frames` so the timed fleet outlives a measurement batch, under the fault
+/// plan of the case with the most scripted fault volume, regenerated to span
+/// the stretched run. Pure in `(cases, frames)`.
+///
+/// # Errors
+///
+/// Rejects an empty case list.
+pub fn corpus_bench_fixture(
+    cases: &[CorpusCase],
+    frames: usize,
+) -> Result<shift_bench::suite::AdversarialFixture, String> {
+    if cases.is_empty() {
+        return Err("cannot build an adversarial fixture from an empty corpus".to_string());
+    }
+    let specs: Vec<shift_core::StreamSpec> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, case)| {
+            let scenario = ScenarioGenerator::new(case.entry.scenario_seed)
+                .generate(&case.entry.scenario, case.entry.replica)
+                .with_num_frames(frames);
+            let config = paper_shift_config().with_accuracy_goal(case.entry.scenario.accuracy_goal);
+            shift_core::StreamSpec::new(
+                format!("corpus-{i}-{}", case.signal.label()),
+                scenario,
+                config,
+            )
+        })
+        .collect();
+    let windows = |fault: &FaultSpec| {
+        (fault.dropouts * fault.dropout_targets.len()
+            + fault.clamps
+            + fault.squeezes * fault.squeeze_targets.len()
+            + fault.glitches) as u64
+    };
+    let (_, worst) = cases
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, case)| (windows(&case.entry.fault), std::cmp::Reverse(*i)))
+        .expect("cases is non-empty");
+    // The fleet's fault plan ticks on total frames admitted across streams;
+    // re-span the worst case's fault mix over that clock so fault windows
+    // keep firing for the whole stretched run instead of dying out after
+    // the minimized 30-frame horizon.
+    let mut fault = worst.entry.fault.clone();
+    fault.horizon_frames = (frames * specs.len()) as u64;
+    let (min_window, max_window) = FaultSpec::window_bounds(fault.horizon_frames);
+    fault.min_window_frames = min_window;
+    fault.max_window_frames = max_window;
+    let plan = FaultPlan::generate(worst.entry.fault_seed, &fault);
+    Ok(shift_bench::suite::AdversarialFixture { specs, plan })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn committed_corpus_converts_to_a_buildable_bench_fixture() {
+        let cases = load_corpus_cases(&committed_corpus_dir()).expect("committed corpus loads");
+        assert!(cases.len() >= 3, "corpus holds >= 3 minimized cases");
+        let fixture = corpus_bench_fixture(&cases, 40).expect("fixture converts");
+        assert_eq!(fixture.specs.len(), cases.len());
+        let again = corpus_bench_fixture(&cases, 40).expect("fixture converts");
+        assert_eq!(fixture.plan, again.plan, "conversion must be pure");
+        assert_ne!(
+            fixture.plan,
+            FaultPlan::generate(0, &FaultSpec::none(40)),
+            "the fixture must script real faults"
+        );
+        // The bench rebuilds this fleet on exhaustion; a goal no stream can
+        // schedule would panic mid-measurement, so buildability is part of
+        // the fixture contract.
+        let ctx = ExperimentContext::quick(2024);
+        FleetBuilder::new(ctx.engine(), ctx.characterization())
+            .streams(fixture.specs.iter().cloned())
+            .fault_plan(fixture.plan.clone())
+            .build()
+            .expect("corpus fixture builds a fleet");
+        assert!(
+            corpus_bench_fixture(&[], 40).is_err(),
+            "empty corpus is rejected"
+        );
+    }
 
     fn test_entry() -> HuntEntry {
         HuntEntry {

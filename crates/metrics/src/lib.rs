@@ -20,7 +20,10 @@
 //! attainment inside vs outside fault windows, degraded-frame fraction and
 //! recovery latency in frames. For the adversarial scenario hunt
 //! (`repro -- hunt`), [`HuntRow`] and [`HuntReport`] reduce every minimized
-//! finding to a stable findings-CSV row.
+//! finding to a stable findings-CSV row. For fleet-service (serving) runs,
+//! [`SessionRow`] and [`SessionReport`] reduce every session lifecycle —
+//! admitted, degraded, rejected, detached or shed — to a stable CSV row
+//! plus the serving aggregates (admission latency, time-in-degrade, churn).
 //!
 //! ```
 //! use shift_metrics::{FrameRecord, RunSummary};
@@ -44,6 +47,7 @@ pub mod hunt;
 pub mod record;
 pub mod report;
 pub mod resilience;
+pub mod session;
 pub mod stats;
 pub mod summary;
 pub mod timeline;
@@ -65,6 +69,7 @@ pub use report::Table;
 pub use resilience::{
     ResilienceAggregate, ResilienceBreakdown, ResilienceRow, RESILIENCE_CSV_HEADER,
 };
+pub use session::{SessionReport, SessionRow, SESSION_CSV_HEADER};
 pub use stats::{mean, pearson_correlation, percentile, std_dev};
 pub use summary::RunSummary;
 pub use timeline::Timeline;

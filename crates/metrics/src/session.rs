@@ -1,0 +1,266 @@
+//! Per-session lifecycle rows for the fleet service (`repro -- serve`).
+//!
+//! The session layer in `shift_core::service` runs admission control over a
+//! live fleet: requests are admitted (possibly at a degraded goal),
+//! rejected, detached on request or shed under overload. Each lifecycle is
+//! reduced to one stable [`SessionRow`]: what was asked, what was granted,
+//! when each transition happened on the discrete tick clock, and how many
+//! frames ran (and how many of them ran degraded). [`SessionReport`] rolls
+//! the trace up into the serving aggregates — admission latency, rejection
+//! and shed counts, time-in-degrade and session churn. Rows serialize with
+//! full round-trip float precision so the `SERVE_sessions.csv` artifact is
+//! locked byte-for-byte, the same contract every other artifact honours.
+
+use crate::export::{csv_escape, number};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`SessionRow::csv_row`].
+pub const SESSION_CSV_HEADER: &str = "session,name,deadline,outcome,reason,requested_goal,\
+admitted_goal,degraded,requested_tick,decided_tick,admit_latency_ticks,detached_tick,\
+frames,degraded_frames";
+
+/// One session's lifecycle, as a stable artifact row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRow {
+    /// The session identity (1-based, request order).
+    pub session: u64,
+    /// The session's label.
+    pub name: String,
+    /// Deadline-class label (`interactive` / `standard` / `batch`).
+    pub deadline: String,
+    /// Final lifecycle outcome: `active`, `detached`, `shed` or `rejected`.
+    pub outcome: String,
+    /// Rejection reason label; empty unless `outcome` is `rejected`.
+    pub reason: String,
+    /// The accuracy goal the request asked for.
+    pub requested_goal: f64,
+    /// The goal admission granted (equals `requested_goal` when rejected).
+    pub admitted_goal: f64,
+    /// Whether the session ran at a degraded goal.
+    pub degraded: bool,
+    /// Tick the request was submitted or scheduled for.
+    pub requested_tick: u64,
+    /// Tick admission decided at.
+    pub decided_tick: u64,
+    /// Admission latency on the tick clock, `decided_tick - requested_tick`.
+    pub admit_latency_ticks: u64,
+    /// Tick the session departed (detach or shed); `None` while active or
+    /// when it was never admitted.
+    pub detached_tick: Option<u64>,
+    /// Frames the session processed.
+    pub frames: usize,
+    /// Frames processed while degraded (the session's time-in-degrade).
+    pub degraded_frames: usize,
+}
+
+impl SessionRow {
+    /// Renders the row as one CSV line matching [`SESSION_CSV_HEADER`].
+    /// An absent `detached_tick` renders as an empty cell.
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.session,
+            csv_escape(&self.name),
+            csv_escape(&self.deadline),
+            csv_escape(&self.outcome),
+            csv_escape(&self.reason),
+            number(self.requested_goal),
+            number(self.admitted_goal),
+            u8::from(self.degraded),
+            self.requested_tick,
+            self.decided_tick,
+            self.admit_latency_ticks,
+            self.detached_tick
+                .map(|t| t.to_string())
+                .unwrap_or_default(),
+            self.frames,
+            self.degraded_frames
+        );
+        out
+    }
+
+    /// Whether the session was admitted (every outcome except `rejected`).
+    pub fn admitted(&self) -> bool {
+        self.outcome != "rejected"
+    }
+}
+
+/// A full serve trace reduced to session rows, in request order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SessionReport {
+    rows: Vec<SessionRow>,
+}
+
+impl SessionReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one session.
+    pub fn push(&mut self, row: SessionRow) {
+        self.rows.push(row);
+    }
+
+    /// The sessions, in request order.
+    pub fn rows(&self) -> &[SessionRow] {
+        &self.rows
+    }
+
+    /// Number of sessions requested.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no session was ever requested.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sessions admitted (including those since departed).
+    pub fn admitted(&self) -> usize {
+        self.rows.iter().filter(|r| r.admitted()).count()
+    }
+
+    /// Sessions rejected at admission.
+    pub fn rejected(&self) -> usize {
+        self.rows.len() - self.admitted()
+    }
+
+    /// Sessions evicted by overload shedding.
+    pub fn shed(&self) -> usize {
+        self.rows.iter().filter(|r| r.outcome == "shed").count()
+    }
+
+    /// Sessions admitted at a degraded goal.
+    pub fn degraded(&self) -> usize {
+        self.rows.iter().filter(|r| r.degraded).count()
+    }
+
+    /// Session churn: lifecycle transitions over the trace — one per
+    /// admission plus one per departure (detach or shed).
+    pub fn churn(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| match (r.admitted(), r.detached_tick.is_some()) {
+                (true, true) => 2,
+                (true, false) => 1,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Mean admission latency in ticks over admitted sessions (0 when none
+    /// was admitted).
+    pub fn mean_admit_latency_ticks(&self) -> f64 {
+        let admitted: Vec<_> = self.rows.iter().filter(|r| r.admitted()).collect();
+        if admitted.is_empty() {
+            return 0.0;
+        }
+        admitted
+            .iter()
+            .map(|r| r.admit_latency_ticks as f64)
+            .sum::<f64>()
+            / admitted.len() as f64
+    }
+
+    /// Fraction of all processed frames that ran degraded — the fleet's
+    /// aggregate time-in-degrade (0 when nothing ran).
+    pub fn degraded_frame_fraction(&self) -> f64 {
+        let frames: usize = self.rows.iter().map(|r| r.frames).sum();
+        if frames == 0 {
+            return 0.0;
+        }
+        let degraded: usize = self.rows.iter().map(|r| r.degraded_frames).sum();
+        degraded as f64 / frames as f64
+    }
+
+    /// Renders the report as CSV (header + one line per session).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(SESSION_CSV_HEADER);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(session: u64, outcome: &str) -> SessionRow {
+        SessionRow {
+            session,
+            name: format!("cam-{session}"),
+            deadline: "standard".to_string(),
+            outcome: outcome.to_string(),
+            reason: if outcome == "rejected" {
+                "saturated".to_string()
+            } else {
+                String::new()
+            },
+            requested_goal: 0.35,
+            admitted_goal: if outcome == "rejected" { 0.35 } else { 0.25 },
+            degraded: outcome != "rejected",
+            requested_tick: 4,
+            decided_tick: 4,
+            admit_latency_ticks: 0,
+            detached_tick: match outcome {
+                "detached" => Some(20),
+                "shed" => Some(11),
+                _ => None,
+            },
+            frames: if outcome == "rejected" { 0 } else { 10 },
+            degraded_frames: if outcome == "rejected" { 0 } else { 10 },
+        }
+    }
+
+    #[test]
+    fn csv_matches_header_and_is_deterministic() {
+        let r = row(1, "active");
+        assert_eq!(
+            r.csv_row().split(',').count(),
+            SESSION_CSV_HEADER.split(',').count()
+        );
+        assert_eq!(r.csv_row(), r.csv_row());
+        assert!(r.csv_row().ends_with(",,10,10"), "{}", r.csv_row());
+        let detached = row(2, "detached");
+        assert!(detached.csv_row().contains(",20,"));
+    }
+
+    #[test]
+    fn report_aggregates_lifecycle_counts() {
+        let mut report = SessionReport::new();
+        assert!(report.is_empty());
+        report.push(row(1, "active"));
+        report.push(row(2, "detached"));
+        report.push(row(3, "shed"));
+        report.push(row(4, "rejected"));
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.admitted(), 3);
+        assert_eq!(report.rejected(), 1);
+        assert_eq!(report.shed(), 1);
+        assert_eq!(report.degraded(), 3);
+        // active admits once; detached and shed admit + depart.
+        assert_eq!(report.churn(), 5);
+        assert_eq!(report.mean_admit_latency_ticks(), 0.0);
+        assert_eq!(report.degraded_frame_fraction(), 1.0);
+        let csv = report.to_csv();
+        assert!(csv.starts_with(SESSION_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_report_aggregates_are_zero() {
+        let report = SessionReport::new();
+        assert_eq!(report.mean_admit_latency_ticks(), 0.0);
+        assert_eq!(report.degraded_frame_fraction(), 0.0);
+        assert_eq!(report.churn(), 0);
+    }
+}

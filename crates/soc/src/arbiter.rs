@@ -78,6 +78,21 @@ impl MemoryArbiter {
     pub fn pinned_pairs(&self) -> usize {
         self.pins.len()
     }
+
+    /// Projected memory demand of the models pinned on `accelerator`, given
+    /// a size lookup (MB per model) — the admission-control view of how much
+    /// of the pool is spoken for by active streams. Models the lookup does
+    /// not know are counted at zero.
+    pub fn pinned_demand_mb(
+        &self,
+        accelerator: AcceleratorId,
+        size_mb: impl Fn(ModelId) -> Option<f64>,
+    ) -> f64 {
+        self.pinned_models(accelerator)
+            .into_iter()
+            .filter_map(size_mb)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +135,25 @@ mod tests {
             vec![ModelId::YoloV7]
         );
         assert!(arbiter.pinned_models(AcceleratorId::Dla0).is_empty());
+    }
+
+    #[test]
+    fn pinned_demand_sums_known_model_sizes() {
+        let mut arbiter = MemoryArbiter::new();
+        arbiter.pin(ModelId::YoloV7, AcceleratorId::Gpu);
+        arbiter.pin(ModelId::YoloV7Tiny, AcceleratorId::Gpu);
+        arbiter.pin(ModelId::YoloV7Tiny, AcceleratorId::Gpu); // refcount, not size
+        arbiter.pin(ModelId::YoloV7, AcceleratorId::Dla0);
+        let size = |model: ModelId| match model {
+            ModelId::YoloV7 => Some(100.0),
+            ModelId::YoloV7Tiny => Some(25.0),
+            _ => None,
+        };
+        assert_eq!(arbiter.pinned_demand_mb(AcceleratorId::Gpu, size), 125.0);
+        assert_eq!(arbiter.pinned_demand_mb(AcceleratorId::Dla0, size), 100.0);
+        assert_eq!(arbiter.pinned_demand_mb(AcceleratorId::Dla1, size), 0.0);
+        // Unknown models count at zero rather than poisoning the projection.
+        assert_eq!(arbiter.pinned_demand_mb(AcceleratorId::Gpu, |_| None), 0.0);
     }
 
     #[test]

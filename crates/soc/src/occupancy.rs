@@ -81,6 +81,15 @@ impl OccupancyTracker {
         }
     }
 
+    /// Virtual completion time `busy_s` seconds of work submitted at `now_s`
+    /// on `accelerator` *would* finish at, without reserving anything — the
+    /// admission-control projection behind [`OccupancyTracker::reserve`]:
+    /// `projected_finish_s(a, now, b) == reserve(a, now, b).busy_until_s`
+    /// for the same state.
+    pub fn projected_finish_s(&self, accelerator: AcceleratorId, now_s: f64, busy_s: f64) -> f64 {
+        self.busy_until(accelerator).max(now_s) + busy_s.max(0.0)
+    }
+
     /// The latest `busy_until` across all accelerators — the makespan of
     /// everything reserved so far.
     pub fn makespan_s(&self) -> f64 {
@@ -201,6 +210,25 @@ mod tests {
             Some((AcceleratorId::Dla0, 3.0))
         );
         assert_eq!(occupancy.next_release_after(3.0), None);
+    }
+
+    #[test]
+    fn projected_finish_matches_an_actual_reservation() {
+        let mut occupancy = OccupancyTracker::new();
+        occupancy.reserve(AcceleratorId::Gpu, 0.0, 1.0);
+        let projected = occupancy.projected_finish_s(AcceleratorId::Gpu, 0.25, 0.5);
+        let reserved = occupancy.reserve(AcceleratorId::Gpu, 0.25, 0.5);
+        assert_eq!(projected, reserved.busy_until_s);
+        // Idle accelerator, late submission: starts at the submit time.
+        assert_eq!(
+            occupancy.projected_finish_s(AcceleratorId::Dla0, 4.0, 0.5),
+            4.5
+        );
+        // The projection never mutates: repeating it gives the same answer.
+        assert_eq!(
+            occupancy.projected_finish_s(AcceleratorId::Dla0, 4.0, 0.5),
+            occupancy.projected_finish_s(AcceleratorId::Dla0, 4.0, 0.5)
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! cargo run --release --example fleet
 //! ```
 
-use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetBuilder, FleetConfig, StreamSpec};
 use shift_core::{characterize, ShiftConfig};
 use shift_metrics::{FleetSummary, FrameRecord, StreamSummary, Table};
 use shift_models::{ModelZoo, ResponseModel};
@@ -48,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    models (a load one stream pays is free for its twins) and queue
     //    when they collide on an accelerator.
     println!("running {} streams to completion...\n", specs.len());
-    let mut fleet =
-        FleetRuntime::new(engine, &characterization, FleetConfig::round_robin(), specs)?;
+    let mut fleet = FleetBuilder::new(engine, &characterization)
+        .config(FleetConfig::round_robin())
+        .streams(specs)
+        .build()?;
     let outcomes = fleet.run_to_completion()?;
 
     // 4. Reduce to per-stream and fleet-aggregate summaries.
@@ -62,14 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         waits[o.stream].push(o.queue_wait_s);
         latencies.push(o.outcome.latency_s);
     }
-    let per_stream: Vec<StreamSummary> = (0..n)
-        .map(|i| {
-            StreamSummary::new(
-                fleet.stream_name(i),
-                fleet.stream_goal(i),
-                &records[i],
-                &waits[i],
-            )
+    let per_stream: Vec<StreamSummary> = fleet
+        .handles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let view = fleet.stream(handle);
+            StreamSummary::new(view.name(), view.goal(), &records[i], &waits[i])
         })
         .collect();
 

@@ -16,7 +16,7 @@
 
 use proptest::prelude::*;
 use shift_core::des::ExecutionMode;
-use shift_core::fleet::{FleetConfig, FleetFrameOutcome, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetBuilder, FleetConfig, FleetFrameOutcome, StreamHandle, StreamSpec};
 use shift_core::{characterize, Characterization, ResilienceCounters, ShiftConfig};
 use shift_experiments::outcome_to_record;
 use shift_metrics::{
@@ -79,17 +79,14 @@ fn run_mode(
     fairness: f64,
     plan: Option<FaultPlan>,
 ) -> RunResult {
-    let mut fleet = FleetRuntime::new(
-        engine(engine_seed),
-        shared_characterization(),
-        FleetConfig::default().with_fairness(fairness),
-        specs,
-    )
-    .expect("fleet construction");
+    let mut builder = FleetBuilder::new(engine(engine_seed), shared_characterization())
+        .config(FleetConfig::default().with_fairness(fairness))
+        .streams(specs)
+        .execution_mode(mode);
     if let Some(plan) = plan {
-        fleet = fleet.with_fault_plan(plan);
+        builder = builder.fault_plan(plan);
     }
-    let mut fleet = fleet.with_execution_mode(mode);
+    let mut fleet = builder.build().expect("fleet construction");
     let outcomes = fleet.run_to_completion().expect("fleet run");
     let n = fleet.stream_count();
     let mut records: Vec<Vec<FrameRecord>> = vec![Vec::new(); n];
@@ -100,14 +97,13 @@ fn run_mode(
         waits[o.stream].push(o.queue_wait_s);
         latencies.push(o.outcome.latency_s);
     }
-    let per_stream: Vec<StreamSummary> = (0..n)
-        .map(|i| {
-            StreamSummary::new(
-                fleet.stream_name(i),
-                fleet.stream_goal(i),
-                &records[i],
-                &waits[i],
-            )
+    let per_stream: Vec<StreamSummary> = fleet
+        .handles()
+        .into_iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let view = fleet.stream(handle);
+            StreamSummary::new(view.name(), view.goal(), &records[i], &waits[i])
         })
         .collect();
     let summary = FleetSummary::from_streams(&per_stream, &latencies, fleet.makespan_s());
@@ -122,7 +118,11 @@ fn run_mode(
     csv.push_str(&summary.csv_row());
     csv.push('\n');
     RunResult {
-        resilience: (0..n).map(|i| fleet.stream_resilience(i)).collect(),
+        resilience: fleet
+            .handles()
+            .into_iter()
+            .map(|h| fleet.stream(h).resilience())
+            .collect(),
         makespan_s: fleet.makespan_s(),
         load_count: fleet.engine().telemetry().load_count,
         outcomes,
@@ -283,14 +283,12 @@ fn idle_streams_cost_nothing_in_the_event_driven_loop() {
                 )
             })
             .collect();
-        FleetRuntime::new(
-            engine(33),
-            shared_characterization(),
-            FleetConfig::round_robin(),
-            specs,
-        )
-        .unwrap()
-        .with_execution_mode(mode)
+        FleetBuilder::new(engine(33), shared_characterization())
+            .config(FleetConfig::round_robin())
+            .streams(specs)
+            .execution_mode(mode)
+            .build()
+            .unwrap()
     };
     let measure = |mode: ExecutionMode| {
         let mut fleet = build(mode);
@@ -300,7 +298,11 @@ fn idle_streams_cost_nothing_in_the_event_driven_loop() {
             fleet.step().unwrap().expect("fleet not drained yet");
         }
         for i in 0..60 {
-            assert_eq!(fleet.frames_processed(i), 2, "stream {i} must be drained");
+            assert_eq!(
+                fleet.stream(StreamHandle::from_index(i)).frames_processed(),
+                2,
+                "stream {i} must be drained"
+            );
         }
         // Measure the admission work of the next 4 steps (one round of the
         // remaining active streams).

@@ -4,7 +4,7 @@
 //! failure removes the only viable resource).
 
 use shift_baselines::{OffloadConfig, OffloadRuntime, SingleModelRuntime};
-use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetConfig, FleetRuntime, StreamHandle, StreamSpec};
 use shift_core::{Knobs, ShiftConfig, ShiftRuntime};
 use shift_experiments::workloads::paper_shift_config;
 use shift_experiments::ExperimentContext;
@@ -229,7 +229,9 @@ fn fleet_under_memory_pressure_degrades_but_never_starves_or_panics() {
     // No starvation: every stream produced every frame of its scenario.
     for (stream, &frames) in expected.iter().enumerate() {
         assert_eq!(
-            fleet.frames_processed(stream),
+            fleet
+                .stream(StreamHandle::from_index(stream))
+                .frames_processed(),
             frames,
             "stream {stream} starved"
         );
@@ -259,7 +261,7 @@ fn fleet_under_memory_pressure_degrades_but_never_starves_or_panics() {
     // genuinely degraded under pressure.
     for stream in 0..expected.len() {
         assert_eq!(
-            fleet.stream_resilience(stream),
+            fleet.stream(StreamHandle::from_index(stream)).resilience(),
             shift_core::ResilienceCounters::default(),
             "stream {stream} reported fault exposure on a healthy run"
         );
@@ -376,8 +378,10 @@ fn all_accelerators_throttled_fleet_terminates_with_degraded_goals_reported() {
             fleet = fleet.with_fault_plan(plan);
         }
         let outcomes = fleet.run_to_completion().expect("fleet completes");
-        let fault_frames: u64 = (0..2)
-            .map(|i| fleet.stream_resilience(i).fault_frames)
+        let fault_frames: u64 = fleet
+            .handles()
+            .into_iter()
+            .map(|h| fleet.stream(h).resilience().fault_frames)
             .sum();
         (outcomes, fault_frames)
     };

@@ -14,7 +14,7 @@
 //!    exactly as it started.
 
 use proptest::prelude::*;
-use shift_core::fleet::{FleetConfig, FleetRuntime, StreamSpec};
+use shift_core::fleet::{FleetConfig, FleetRuntime, StreamHandle, StreamSpec};
 use shift_core::{characterize, Characterization, ShiftConfig, ShiftRuntime};
 use shift_models::{ModelZoo, ResponseModel};
 use shift_soc::{AcceleratorId, ExecutionEngine, FaultInjector, FaultPlan, FaultSpec, Platform};
@@ -186,7 +186,7 @@ proptest! {
 
         prop_assert_eq!(healthy_outcomes, faulted_outcomes);
         for stream in 0..2 {
-            let counters = faulted.stream_resilience(stream);
+            let counters = faulted.stream(StreamHandle::from_index(stream)).resilience();
             prop_assert_eq!(counters.fault_frames, 0);
             prop_assert_eq!(counters.fault_replans, 0);
             prop_assert_eq!(counters.degraded_frames, 0);
@@ -244,7 +244,11 @@ fn faulted_fleet_runs_are_deterministic() {
         .expect("fleet builds")
         .with_fault_plan(plan);
         let outcomes = fleet.run_to_completion().expect("faulted run completes");
-        let counters: Vec<_> = (0..2).map(|i| fleet.stream_resilience(i)).collect();
+        let counters: Vec<_> = fleet
+            .handles()
+            .into_iter()
+            .map(|h| fleet.stream(h).resilience())
+            .collect();
         (outcomes, counters)
     };
     assert_eq!(run(), run());
