@@ -58,24 +58,34 @@ pub struct StreamSpec {
     /// Per-stream SHIFT configuration; `config.accuracy_goal` is the
     /// stream's individual accuracy goal.
     pub config: ShiftConfig,
+    /// First scenario frame the stream plays (earlier frames are skipped at
+    /// attach). `0` plays the scenario from the top; a live migration resumes
+    /// a stream on another node from the frame it had reached.
+    pub start_frame: usize,
 }
 
 impl StreamSpec {
-    /// Creates a stream spec.
+    /// Creates a stream spec that plays its scenario from the first frame.
     pub fn new(name: impl Into<String>, scenario: Scenario, config: ShiftConfig) -> Self {
         Self {
             name: name.into(),
             scenario,
             config,
+            start_frame: 0,
         }
+    }
+
+    /// Resumes the scenario at `start_frame` instead of frame 0.
+    pub fn with_start_frame(mut self, start_frame: usize) -> Self {
+        self.start_frame = start_frame;
+        self
     }
 }
 
 /// Opaque handle to one stream slot inside a [`FleetRuntime`].
 ///
-/// Handles replace the raw `usize` indices of the deprecated `stream_*`
-/// accessors: they are minted by [`FleetRuntime::attach_stream`] (or listed
-/// by [`FleetRuntime::handles`]) and stay valid for the fleet's lifetime,
+/// Handles are minted by [`FleetRuntime::attach_stream`] (or listed by
+/// [`FleetRuntime::handles`]) and stay valid for the fleet's lifetime,
 /// including after the stream detaches. The [`FleetFrameOutcome::stream`]
 /// index of an outcome converts back via [`StreamHandle::from_index`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -96,8 +106,7 @@ impl StreamHandle {
     }
 }
 
-/// Read-only view of one stream slot, keyed by [`StreamHandle`] — the
-/// replacement for the deprecated index-based `stream_*` accessors.
+/// Read-only view of one stream slot, keyed by [`StreamHandle`].
 #[derive(Debug, Clone, Copy)]
 pub struct StreamView<'a> {
     state: &'a StreamState,
@@ -411,8 +420,15 @@ impl FleetRuntime {
         }
         self.arbiter.pin(initial.model, initial.accelerator);
         let mut stream = spec.scenario.stream();
+        // A resumed stream (live migration) starts mid-scenario: discard the
+        // frames its previous incarnation already played.
+        for _ in 0..spec.start_frame {
+            if stream.next().is_none() {
+                break;
+            }
+        }
         let next_frame = stream.next().map(Box::new);
-        let total_frames = spec.scenario.num_frames();
+        let total_frames = spec.scenario.num_frames().saturating_sub(spec.start_frame);
         let clock_s = self.makespan_s();
         let index = self.streams.len();
         let has_frame = next_frame.is_some();
@@ -431,6 +447,21 @@ impl FleetRuntime {
             self.insert_ready(index);
         }
         Ok(StreamHandle(index))
+    }
+
+    /// Charges an out-of-band cost (e.g. a live-migration transfer plus the
+    /// model re-warm on the destination node) to the stream behind `handle`.
+    /// The cost lands on the stream's next processed frame exactly like a
+    /// loader miss: it extends that frame's latency by `time_s` and its
+    /// energy by `energy_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle does not belong to this fleet.
+    pub(crate) fn charge_stream_load(&mut self, handle: StreamHandle, time_s: f64, energy_j: f64) {
+        self.streams[handle.0]
+            .agent
+            .charge_pending_load(time_s, energy_j);
     }
 
     /// Detaches the stream behind `handle`: its pinned pair is released, its
@@ -552,19 +583,6 @@ impl FleetRuntime {
         self.steps = self.steps.max(tick);
     }
 
-    /// Resilience counters of stream `index` (all zero on a healthy run).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index` is out of range.
-    #[deprecated(
-        note = "use `stream(handle).resilience()` — index accessors are replaced \
-                         by session handles"
-    )]
-    pub fn stream_resilience(&self, index: usize) -> ResilienceCounters {
-        self.streams[index].resilience
-    }
-
     /// Number of stream slots in the fleet (attached or detached).
     pub fn stream_count(&self) -> usize {
         self.streams.len()
@@ -583,58 +601,6 @@ impl FleetRuntime {
     /// The shared memory arbiter.
     pub fn arbiter(&self) -> &MemoryArbiter {
         &self.arbiter
-    }
-
-    /// The label of stream `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index` is out of range.
-    #[deprecated(
-        note = "use `stream(handle).name()` — index accessors are replaced by \
-                         session handles"
-    )]
-    pub fn stream_name(&self, index: usize) -> &str {
-        &self.streams[index].name
-    }
-
-    /// The accuracy goal of stream `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index` is out of range.
-    #[deprecated(
-        note = "use `stream(handle).goal()` — index accessors are replaced by \
-                         session handles"
-    )]
-    pub fn stream_goal(&self, index: usize) -> f64 {
-        self.streams[index].agent.config().accuracy_goal
-    }
-
-    /// The agent of stream `index` (for inspection).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index` is out of range.
-    #[deprecated(
-        note = "use `stream(handle).agent()` — index accessors are replaced by \
-                         session handles"
-    )]
-    pub fn stream_agent(&self, index: usize) -> &StreamAgent {
-        &self.streams[index].agent
-    }
-
-    /// Frames processed so far by stream `index`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `index` is out of range.
-    #[deprecated(
-        note = "use `stream(handle).frames_processed()` — index accessors are \
-                         replaced by session handles"
-    )]
-    pub fn frames_processed(&self, index: usize) -> usize {
-        self.streams[index].processed
     }
 
     /// Total frames across all streams (processed + remaining).
@@ -1714,36 +1680,6 @@ mod tests {
         for handle in fleet.handles() {
             assert_eq!(fleet.stream(handle).frames_processed(), 20);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_index_shims_agree_with_the_handle_accessors() {
-        let characterization = characterization(31);
-        let mut fleet = FleetBuilder::new(engine(31), &characterization)
-            .stream(StreamSpec::new(
-                "shim",
-                Scenario::scenario_3().with_num_frames(6),
-                ShiftConfig::paper_defaults().with_accuracy_goal(0.3),
-            ))
-            .build()
-            .unwrap();
-        fleet.run_to_completion().unwrap();
-        let handle = fleet.handles()[0];
-        assert_eq!(fleet.stream_name(0), fleet.stream(handle).name());
-        assert_eq!(fleet.stream_goal(0), fleet.stream(handle).goal());
-        assert_eq!(
-            fleet.frames_processed(0),
-            fleet.stream(handle).frames_processed()
-        );
-        assert_eq!(
-            fleet.stream_resilience(0),
-            fleet.stream(handle).resilience()
-        );
-        assert_eq!(
-            fleet.stream_agent(0).config().accuracy_goal,
-            fleet.stream(handle).agent().config().accuracy_goal
-        );
     }
 
     #[test]

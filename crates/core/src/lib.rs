@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod characterize;
+pub mod cluster;
 pub mod config;
 pub mod context;
 pub mod des;
@@ -60,6 +61,10 @@ pub mod service;
 pub mod traits;
 
 pub use characterize::{characterize, Characterization, ModelObservation, SampleObservation};
+pub use cluster::{
+    ClusterBuilder, ClusterEvent, ClusterFrameOutcome, ClusterPolicy, ClusterScheduler,
+    ClusterSessionId, ClusterSessionRecord, MigrationRecord,
+};
 pub use config::{Knobs, ShiftConfig};
 pub use context::ContextDetector;
 pub use des::{Event, EventKey, EventKind, EventQueue, ExecutionMode, TraceEvent};
@@ -83,6 +88,7 @@ pub use traits::{AcceleratorStats, ModelTraits};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::characterize::{characterize, Characterization};
+    pub use crate::cluster::{ClusterBuilder, ClusterPolicy, ClusterScheduler, ClusterSessionId};
     pub use crate::config::{Knobs, ShiftConfig};
     pub use crate::des::{EventKind, EventQueue, ExecutionMode};
     pub use crate::fleet::{

@@ -155,10 +155,15 @@ pub struct AttachRequest {
     pub config: ShiftConfig,
     /// The session's latency service class.
     pub deadline: DeadlineClass,
+    /// First scenario frame the session plays (`0` from the top). A live
+    /// migration re-attaches a session on another node resuming from the
+    /// frame it had reached.
+    pub start_frame: usize,
 }
 
 impl AttachRequest {
-    /// Creates an attach request.
+    /// Creates an attach request that plays its scenario from the first
+    /// frame.
     pub fn new(
         name: impl Into<String>,
         scenario: Scenario,
@@ -170,7 +175,14 @@ impl AttachRequest {
             scenario,
             config,
             deadline,
+            start_frame: 0,
         }
+    }
+
+    /// Resumes the scenario at `start_frame` instead of frame 0.
+    pub fn with_start_frame(mut self, start_frame: usize) -> Self {
+        self.start_frame = start_frame;
+        self
     }
 }
 
@@ -588,6 +600,24 @@ impl FleetService {
         std::mem::take(&mut self.log)
     }
 
+    /// Charges an out-of-band cost (a live-migration transfer plus the model
+    /// re-warm on the destination node) to an attached session's stream; the
+    /// cost lands on the stream's next processed frame exactly like a loader
+    /// miss. Returns `false` (and charges nothing) when the session is not
+    /// attached.
+    pub(crate) fn charge_session_load(
+        &mut self,
+        id: SessionId,
+        time_s: f64,
+        energy_j: f64,
+    ) -> bool {
+        let Some(handle) = self.stream_of(id) else {
+            return false;
+        };
+        self.fleet.charge_stream_load(handle, time_s, energy_j);
+        true
+    }
+
     /// Processes one request immediately, at the current tick, and returns
     /// its response event (which is also appended to the event log).
     pub fn submit(&mut self, request: SessionRequest) -> SessionEvent {
@@ -681,7 +711,8 @@ impl FleetService {
                     req.name.clone(),
                     req.scenario,
                     req.config.with_accuracy_goal(goal),
-                );
+                )
+                .with_start_frame(req.start_frame);
                 match self.fleet.attach_stream(&self.characterization, spec) {
                     Ok(handle) => {
                         self.sessions.push(SessionState {

@@ -29,7 +29,12 @@
 //! adversarial scenario search, which writes `HUNT_findings.csv` (one row
 //! per minimized failure; `--budget N` overrides the mutant-evaluation
 //! budget and `--corpus-out DIR` additionally emits each minimized finding
-//! as a replayable `.case` file) — and `bench` — the perf-regression micro
+//! as a replayable `.case` file) — `cluster` — the multi-SoC capacity sweep,
+//! which replays one seeded diurnal session trace against clusters of 1 to 8
+//! heterogeneous nodes and writes `CLUSTER_capacity.csv` (one row per
+//! cluster size: admission/shed/migration counts, energy, streams-per-joule
+//! and p50/p99 latency; byte-identical for any `--jobs` and in both
+//! execution modes) — and `bench` — the perf-regression micro
 //! suite, which writes `BENCH_micro.json` (when the same invocation also
 //! ran `stress`, as in `repro -- stress bench`, the fresh stress timings
 //! are folded in).
@@ -53,8 +58,8 @@
 
 use shift_experiments::ExperimentContext;
 use shift_experiments::{
-    ablations, chaos, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline, search,
-    serve, stress, table1, table3, table4,
+    ablations, chaos, cluster, executor, extended, fig1, fig2, fig3, fig4, fig5, fleet, headline,
+    search, serve, stress, table1, table3, table4,
 };
 use std::process::ExitCode;
 
@@ -71,7 +76,7 @@ const ABLATION_ARTIFACTS: [&str; 6] = [
     "fleet",
 ];
 
-const ARTIFACTS: [&str; 20] = [
+const ARTIFACTS: [&str; 21] = [
     "table1",
     "table3",
     "table4",
@@ -88,6 +93,7 @@ const ARTIFACTS: [&str; 20] = [
     "extended",
     "fleet",
     "serve",
+    "cluster",
     "stress",
     "chaos",
     "hunt",
@@ -335,6 +341,24 @@ fn main() -> ExitCode {
                     Err(err) => Err(err),
                 }
             }
+            "cluster" => {
+                let options = if smoke {
+                    cluster::ClusterOptions::smoke()
+                } else {
+                    cluster::ClusterOptions::full()
+                };
+                match cluster::artifact(&ctx, &options) {
+                    Ok(artifact) => {
+                        if let Err(err) = write_atomic("CLUSTER_capacity.csv", &artifact.csv) {
+                            eprintln!("failed to write CLUSTER_capacity.csv: {err}");
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!("# wrote CLUSTER_capacity.csv");
+                        Ok(artifact.table)
+                    }
+                    Err(err) => Err(err),
+                }
+            }
             "stress" => {
                 // `--smoke` shrinks the grid itself; `--quick` alone keeps
                 // the full 64-scenario grid but runs it on scaled-down
@@ -518,8 +542,8 @@ fn print_help() {
     eprintln!("standalone gate modes: bench-compare | check-stress");
     eprintln!(
         "--smoke implies --quick, shrinks `stress` to <= 8 scenarios, `chaos` to an 18-cell \
-         grid, `hunt` to a few dozen evaluations, `serve` to two churn traces and `bench` to \
-         CI sizing"
+         grid, `hunt` to a few dozen evaluations, `serve` to two churn traces, `cluster` to a \
+         short diurnal trace and `bench` to CI sizing"
     );
     eprintln!("--jobs N runs sweeps on N workers (artifacts stay byte-identical for any N)");
     eprintln!(

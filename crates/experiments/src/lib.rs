@@ -61,6 +61,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod cluster;
 pub mod executor;
 pub mod extended;
 pub mod fig1;
@@ -140,6 +141,10 @@ pub struct ExperimentContext {
     zoo: ModelZoo,
     response: ResponseModel,
     characterization: Characterization,
+    /// The validation dataset the characterization was computed on, kept so
+    /// per-platform characterizations (cluster device classes) probe the
+    /// same frames.
+    dataset: CharacterizationDataset,
     /// Scenario-length scale factor in `(0, 1]`; experiments multiply each
     /// scenario's frame count by this factor (minimum 30 frames).
     scale: f64,
@@ -176,6 +181,7 @@ impl ExperimentContext {
             zoo,
             response,
             characterization,
+            dataset,
             scale: scale.clamp(0.001, 1.0),
             jobs: executor::default_jobs(),
             execution_mode: ExecutionMode::default(),
@@ -237,6 +243,19 @@ impl ExperimentContext {
     /// telemetry so methods cannot interfere with each other).
     pub fn engine(&self) -> ExecutionEngine {
         ExecutionEngine::new(self.platform.clone(), self.zoo.clone(), self.response)
+    }
+
+    /// A fresh execution engine over an explicit platform (cluster nodes of
+    /// other device classes), sharing the context's zoo and response model.
+    pub fn engine_on(&self, platform: Platform) -> ExecutionEngine {
+        ExecutionEngine::new(platform, self.zoo.clone(), self.response)
+    }
+
+    /// Characterizes the context's validation dataset on an explicit
+    /// platform. A node only knows the models its accelerators can run, so
+    /// each device class gets its own characterization over the same frames.
+    pub fn characterize_on(&self, platform: Platform) -> Characterization {
+        characterize(&self.engine_on(platform), &self.dataset)
     }
 
     /// The six evaluation scenarios, scaled by the context's scale factor.

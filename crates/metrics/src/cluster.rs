@@ -1,0 +1,172 @@
+//! Capacity-planning rows for the cluster scheduler (`repro -- cluster`).
+//!
+//! The cluster experiment replays one fixed diurnal session trace against
+//! clusters of increasing size and reduces each size to one
+//! [`ClusterCapacityRow`]: how many sessions the cluster admitted, how much
+//! energy the whole fleet of SoCs burned, the serving efficiency
+//! (streams-per-joule) and the tail latency under that offered load. Rows
+//! serialize with full round-trip float precision so the
+//! `CLUSTER_capacity.csv` artifact is locked byte-for-byte, the same
+//! contract every other artifact honours.
+
+use crate::export::{csv_escape, number};
+use crate::stats::percentile;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Header row matching [`ClusterCapacityRow::csv_row`].
+pub const CLUSTER_CSV_HEADER: &str = "cluster_size,node_classes,offered,admitted,rejected,shed,\
+migrations,frames,energy_j,streams_per_joule,p50_latency_s,p99_latency_s";
+
+/// One cluster size's capacity summary, as a stable artifact row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterCapacityRow {
+    /// Number of nodes in the cluster.
+    pub cluster_size: usize,
+    /// Device-class mix, as `+`-joined class labels in node order.
+    pub node_classes: String,
+    /// Sessions the trace offered.
+    pub offered: usize,
+    /// Sessions admitted somewhere in the cluster.
+    pub admitted: usize,
+    /// Sessions every candidate node rejected.
+    pub rejected: usize,
+    /// Sessions evicted by per-node overload shedding.
+    pub shed: usize,
+    /// Completed live migrations.
+    pub migrations: usize,
+    /// Frames processed across all nodes.
+    pub frames: usize,
+    /// Total energy charged across all nodes, joules (includes migration
+    /// transfer and re-warm charges).
+    pub energy_j: f64,
+    /// Serving efficiency: admitted sessions per joule.
+    pub streams_per_joule: f64,
+    /// Median per-frame latency, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile per-frame latency, seconds.
+    pub p99_latency_s: f64,
+}
+
+impl ClusterCapacityRow {
+    /// Builds a row from the raw run reduction: per-frame latencies in
+    /// production order and the lifecycle counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_run(
+        cluster_size: usize,
+        node_classes: impl Into<String>,
+        offered: usize,
+        admitted: usize,
+        rejected: usize,
+        shed: usize,
+        migrations: usize,
+        latencies_s: &[f64],
+        energy_j: f64,
+    ) -> Self {
+        let streams_per_joule = if energy_j > 0.0 {
+            admitted as f64 / energy_j
+        } else {
+            0.0
+        };
+        Self {
+            cluster_size,
+            node_classes: node_classes.into(),
+            offered,
+            admitted,
+            rejected,
+            shed,
+            migrations,
+            frames: latencies_s.len(),
+            energy_j,
+            streams_per_joule,
+            p50_latency_s: percentile(latencies_s, 50.0),
+            p99_latency_s: percentile(latencies_s, 99.0),
+        }
+    }
+
+    /// Renders the row as one CSV line matching [`CLUSTER_CSV_HEADER`].
+    pub fn csv_row(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.cluster_size,
+            csv_escape(&self.node_classes),
+            self.offered,
+            self.admitted,
+            self.rejected,
+            self.shed,
+            self.migrations,
+            self.frames,
+            number(self.energy_j),
+            number(self.streams_per_joule),
+            number(self.p50_latency_s),
+            number(self.p99_latency_s)
+        );
+        out
+    }
+}
+
+/// Renders capacity rows as CSV (header + one line per cluster size).
+pub fn cluster_capacity_to_csv(rows: &[ClusterCapacityRow]) -> String {
+    let mut out = String::from(CLUSTER_CSV_HEADER);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(size: usize) -> ClusterCapacityRow {
+        ClusterCapacityRow::from_run(
+            size,
+            "nx+oak-d",
+            10,
+            7,
+            3,
+            1,
+            2,
+            &[0.02, 0.04, 0.06, 0.4],
+            50.0,
+        )
+    }
+
+    #[test]
+    fn csv_matches_header_and_is_deterministic() {
+        let r = row(2);
+        assert_eq!(
+            r.csv_row().split(',').count(),
+            CLUSTER_CSV_HEADER.split(',').count()
+        );
+        assert_eq!(r.csv_row(), r.csv_row());
+        assert!(r.csv_row().starts_with("2,nx+oak-d,10,7,3,1,2,4,"));
+    }
+
+    #[test]
+    fn efficiency_and_tails_come_from_the_run() {
+        let r = row(2);
+        assert!((r.streams_per_joule - 7.0 / 50.0).abs() < 1e-12);
+        assert!(r.p99_latency_s >= r.p50_latency_s);
+        assert!(r.p99_latency_s <= 0.4 + 1e-12);
+    }
+
+    #[test]
+    fn zero_energy_means_zero_efficiency() {
+        let r = ClusterCapacityRow::from_run(1, "nx", 0, 0, 0, 0, 0, &[], 0.0);
+        assert_eq!(r.streams_per_joule, 0.0);
+        assert_eq!(r.frames, 0);
+        assert_eq!(r.p99_latency_s, 0.0);
+    }
+
+    #[test]
+    fn csv_report_has_header_and_rows() {
+        let csv = cluster_capacity_to_csv(&[row(1), row(2)]);
+        assert!(csv.starts_with(CLUSTER_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

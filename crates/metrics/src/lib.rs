@@ -40,6 +40,7 @@
 //! ```
 
 pub mod breakdown;
+pub mod cluster;
 pub mod curve;
 pub mod export;
 pub mod fleet;
@@ -55,6 +56,7 @@ pub mod timing;
 pub mod trace;
 
 pub use breakdown::{BreakdownAggregate, ScenarioBreakdown, ScenarioRow, SCENARIO_CSV_HEADER};
+pub use cluster::{cluster_capacity_to_csv, ClusterCapacityRow, CLUSTER_CSV_HEADER};
 pub use curve::{
     accuracy_energy_frontier, average_success, run_efficiency, success_curve, FrontierPoint,
     ThresholdPoint,

@@ -1,0 +1,100 @@
+//! Device classes for heterogeneous clusters.
+//!
+//! The paper's runtime schedules one SoC. The cluster layer
+//! (`shift_core::cluster`) shards sessions across many simulated nodes, and
+//! real fleets are never uniform: some nodes are the paper's NX testbed,
+//! some are bare camera heads, some are server-class boards. [`DeviceClass`]
+//! names the three tiers this workspace models and maps each to its
+//! [`Platform`] and a relative capacity weight the placement scheduler
+//! normalizes load by.
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The hardware tier of one cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// The paper's testbed: Xavier NX (CPU, GPU, 2x DLA) + OAK-D.
+    NxClass,
+    /// A bare OAK-D camera head: one Myriad X VPU, 512 MB, tiny models only.
+    OakDOnly,
+    /// A server-class SoC: the NX accelerator set with doubled GPU/DLA
+    /// model-memory budgets.
+    GpuRich,
+}
+
+impl DeviceClass {
+    /// Every device class, in a fixed order (used to cycle node classes
+    /// deterministically when building a cluster of size N).
+    pub const ALL: [DeviceClass; 3] = [
+        DeviceClass::NxClass,
+        DeviceClass::OakDOnly,
+        DeviceClass::GpuRich,
+    ];
+
+    /// Short stable label (used in CSV rows and event logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceClass::NxClass => "nx",
+            DeviceClass::OakDOnly => "oak-d",
+            DeviceClass::GpuRich => "gpu-rich",
+        }
+    }
+
+    /// The simulated platform a node of this class runs.
+    pub fn platform(self) -> Platform {
+        match self {
+            DeviceClass::NxClass => Platform::xavier_nx_with_oak(),
+            DeviceClass::OakDOnly => Platform::oak_d_only(),
+            DeviceClass::GpuRich => Platform::gpu_rich(),
+        }
+    }
+
+    /// Relative session capacity of this class (NX-class = 1.0). The
+    /// placement scheduler divides a node's attached-session count by this
+    /// weight before comparing load across heterogeneous nodes.
+    pub fn capacity_weight(self) -> f64 {
+        match self {
+            DeviceClass::NxClass => 1.0,
+            DeviceClass::OakDOnly => 0.4,
+            DeviceClass::GpuRich => 1.6,
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::AcceleratorId;
+
+    #[test]
+    fn classes_map_to_distinct_platforms() {
+        let platforms: Vec<_> = DeviceClass::ALL.iter().map(|c| c.platform()).collect();
+        assert_eq!(platforms[0], Platform::xavier_nx_with_oak());
+        assert_eq!(
+            platforms[1].accelerator_ids(),
+            vec![AcceleratorId::OakD],
+            "OAK-D-only node is a bare camera head"
+        );
+        assert!(platforms[2].accelerators().len() >= platforms[0].accelerators().len());
+    }
+
+    #[test]
+    fn capacity_weights_order_the_tiers() {
+        assert!(DeviceClass::OakDOnly.capacity_weight() < DeviceClass::NxClass.capacity_weight());
+        assert!(DeviceClass::NxClass.capacity_weight() < DeviceClass::GpuRich.capacity_weight());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = DeviceClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, vec!["nx", "oak-d", "gpu-rich"]);
+        assert_eq!(DeviceClass::GpuRich.to_string(), "gpu-rich");
+    }
+}

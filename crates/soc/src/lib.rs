@@ -34,6 +34,7 @@
 
 pub mod accelerator;
 pub mod arbiter;
+pub mod device;
 pub mod dvfs;
 pub mod engine;
 pub mod fault;
@@ -47,6 +48,7 @@ pub mod thermal;
 
 pub use accelerator::{AcceleratorId, AcceleratorSpec};
 pub use arbiter::MemoryArbiter;
+pub use device::DeviceClass;
 pub use dvfs::PowerMode;
 pub use engine::{ExecutionEngine, InferenceReport, LoadReport};
 pub use fault::{

@@ -31,6 +31,10 @@ pub struct NetworkLink {
     /// Number of frames at the start of each cycle during which the link is
     /// down.
     pub outage_len_frames: usize,
+    /// Frame rate used to convert a transfer's duration in seconds onto the
+    /// frame-indexed outage timeline (`0` disables straddle accounting; a
+    /// transfer then only checks the link at its starting frame).
+    pub frame_rate_hz: f64,
 }
 
 impl NetworkLink {
@@ -44,6 +48,7 @@ impl NetworkLink {
             idle_wait_power_w: 1.1,
             outage_period_frames: 0,
             outage_len_frames: 0,
+            frame_rate_hz: 30.0,
         }
     }
 
@@ -59,6 +64,7 @@ impl NetworkLink {
             idle_wait_power_w: 1.6,
             outage_period_frames: 600,
             outage_len_frames: 40,
+            frame_rate_hz: 30.0,
         }
     }
 
@@ -72,6 +78,7 @@ impl NetworkLink {
             idle_wait_power_w: 2.0,
             outage_period_frames: 200,
             outage_len_frames: 35,
+            frame_rate_hz: 30.0,
         }
     }
 
@@ -100,9 +107,55 @@ impl NetworkLink {
         mb * 8.0 / self.bandwidth_mbps
     }
 
+    /// Frames an operation lasting `duration_s` seconds spans beyond its
+    /// starting frame, on the outage timeline. `0` when straddle accounting
+    /// is disabled (`frame_rate_hz <= 0`).
+    fn span_frames(&self, duration_s: f64) -> usize {
+        if self.frame_rate_hz <= 0.0 || !duration_s.is_finite() || duration_s <= 0.0 {
+            return 0;
+        }
+        (duration_s * self.frame_rate_hz).ceil() as usize
+    }
+
+    /// Outage stall absorbed by a round trip that starts at `frame_index`
+    /// (which must be up) and nominally spans `span` frames: every down frame
+    /// crossed stalls the radio for one frame, and the stall itself can run
+    /// into further outage windows, so the span is extended to a fixpoint.
+    /// Returns the stall in frames.
+    fn outage_stall_frames(&self, frame_index: usize, span: usize) -> usize {
+        if span == 0 || self.outage_period_frames == 0 || self.outage_len_frames == 0 {
+            return 0;
+        }
+        // A cycle that is fully down never ends a stall; `is_down` at the
+        // starting frame already rejected those transfers, and the min()
+        // below keeps the fixpoint finite for len >= period configurations.
+        let len = self.outage_len_frames.min(self.outage_period_frames);
+        if len == self.outage_period_frames {
+            return 0;
+        }
+        let down_through = |total: usize| -> usize {
+            (frame_index + 1..=frame_index + total)
+                .filter(|&f| self.is_down(f))
+                .count()
+        };
+        let mut total = span;
+        loop {
+            let next = span + down_through(total);
+            if next == total {
+                return total - span;
+            }
+            total = next;
+        }
+    }
+
     /// Simulates one offload round trip of `payload_mb` megabytes at
     /// `frame_index`, with the server taking `server_time_s` to produce its
-    /// answer. Returns `None` when the link is in an outage.
+    /// answer. Returns `None` when the link is in an outage at the starting
+    /// frame. A round trip whose duration straddles a later outage window
+    /// does not complete untouched: the radio stalls for the down frames it
+    /// crosses (extended deterministically when the stall itself runs into
+    /// further windows), and the stall is charged as idle-wait latency and
+    /// energy ([`TransferReport::outage_stall_s`]).
     pub fn round_trip(
         &self,
         frame_index: usize,
@@ -118,13 +171,22 @@ impl NetworkLink {
         }
         let rtt = self.rtt_at(frame_index);
         let wait = rtt + server_time_s.max(0.0);
-        let latency = transfer + wait;
-        let energy = payload_mb.max(0.0) * self.tx_energy_j_per_mb + wait * self.idle_wait_power_w;
+        let span = self.span_frames(transfer + wait);
+        let stall_frames = self.outage_stall_frames(frame_index, span);
+        let stall = if stall_frames == 0 {
+            0.0
+        } else {
+            stall_frames as f64 / self.frame_rate_hz
+        };
+        let latency = transfer + wait + stall;
+        let energy =
+            payload_mb.max(0.0) * self.tx_energy_j_per_mb + (wait + stall) * self.idle_wait_power_w;
         Some(TransferReport {
             latency_s: latency,
             energy_j: energy,
             transfer_time_s: transfer,
             rtt_s: rtt,
+            outage_stall_s: stall,
         })
     }
 }
@@ -146,6 +208,9 @@ pub struct TransferReport {
     pub transfer_time_s: f64,
     /// Round-trip time used for this frame, seconds.
     pub rtt_s: f64,
+    /// Stall absorbed while the round trip straddled outage windows, seconds
+    /// (already included in `latency_s`; `0` when the link stayed up).
+    pub outage_stall_s: f64,
 }
 
 /// Deterministic hash of `x` mapped to `[0, 1)`.
@@ -224,6 +289,64 @@ mod tests {
         let link = NetworkLink::degraded();
         let down_frame = (0..1000).find(|&i| link.is_down(i)).unwrap();
         assert!(link.round_trip(down_frame, 0.5, 0.02).is_none());
+    }
+
+    #[test]
+    fn transfer_straddling_an_outage_absorbs_the_window() {
+        // Degraded link: frames 200..235 are down. A 1 MB payload takes
+        // 8/2 = 4 s to push, so a round trip started at frame 199 — the
+        // last up frame before the window — spans well past frame 200 and
+        // must absorb the full 35-frame outage deterministically.
+        let link = NetworkLink::degraded();
+        assert!(!link.is_down(199));
+        assert!(link.is_down(200));
+        let report = link.round_trip(199, 1.0, 0.02).expect("link up at start");
+        let expected_stall = 35.0 / link.frame_rate_hz;
+        assert!(
+            (report.outage_stall_s - expected_stall).abs() < 1e-12,
+            "stall {} != one full outage window {}",
+            report.outage_stall_s,
+            expected_stall
+        );
+        assert!(
+            (report.latency_s - (report.transfer_time_s + report.rtt_s + 0.02 + expected_stall))
+                .abs()
+                < 1e-12
+        );
+        // The stall is also charged as idle-wait energy.
+        let clear = NetworkLink {
+            outage_period_frames: 0,
+            outage_len_frames: 0,
+            ..link.clone()
+        };
+        let unobstructed = clear.round_trip(199, 1.0, 0.02).expect("no outages");
+        assert!(report.latency_s > unobstructed.latency_s);
+        assert!(
+            (report.energy_j - unobstructed.energy_j - expected_stall * link.idle_wait_power_w)
+                .abs()
+                < 1e-12
+        );
+        // Determinism: same inputs, same bytes.
+        assert_eq!(report, link.round_trip(199, 1.0, 0.02).unwrap());
+    }
+
+    #[test]
+    fn transfer_inside_an_up_region_has_no_stall() {
+        // A small payload launched right after the window closes finishes
+        // long before frame 400 opens the next one.
+        let link = NetworkLink::degraded();
+        assert!(!link.is_down(235));
+        let report = link.round_trip(235, 0.01, 0.01).expect("link up");
+        assert_eq!(report.outage_stall_s, 0.0);
+        assert!((report.latency_s - (report.transfer_time_s + report.rtt_s + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_frame_rate_disables_straddle_accounting() {
+        let mut link = NetworkLink::degraded();
+        link.frame_rate_hz = 0.0;
+        let report = link.round_trip(199, 1.0, 0.02).expect("link up at start");
+        assert_eq!(report.outage_stall_s, 0.0);
     }
 
     #[test]

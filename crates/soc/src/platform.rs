@@ -96,6 +96,36 @@ impl Platform {
         )
     }
 
+    /// A camera-head node: a single OAK-D Lite with its on-device 512 MB.
+    /// Only models compiled for the Myriad X VPU run here, so the node
+    /// admits few sessions and only at modest accuracy goals — the cheap
+    /// tier of a heterogeneous cluster.
+    pub fn oak_d_only() -> Self {
+        Self::new(
+            "OAK-D only",
+            vec![AcceleratorSpec::new(AcceleratorId::OakD, 512.0, 0.4)],
+            PowerModel::xavier_nx(),
+        )
+    }
+
+    /// A GPU-rich server-class SoC: the NX accelerator set with a doubled
+    /// GPU/DLA model-memory budget, the expensive tier of a heterogeneous
+    /// cluster. (Same power model — the workspace only characterizes the
+    /// NX's power curve.)
+    pub fn gpu_rich() -> Self {
+        Self::new(
+            "GPU-rich",
+            vec![
+                AcceleratorSpec::new(AcceleratorId::Cpu, 2048.0, 0.8),
+                AcceleratorSpec::new(AcceleratorId::Gpu, 3072.0, 0.5),
+                AcceleratorSpec::new(AcceleratorId::Dla0, 2048.0, 0.3),
+                AcceleratorSpec::new(AcceleratorId::Dla1, 2048.0, 0.3),
+                AcceleratorSpec::new(AcceleratorId::OakD, 512.0, 0.4),
+            ],
+            PowerModel::xavier_nx(),
+        )
+    }
+
     /// Platform name.
     pub fn name(&self) -> &str {
         &self.name
@@ -158,6 +188,23 @@ mod tests {
         let p = Platform::xavier_nx();
         assert_eq!(p.accelerators().len(), 4);
         assert!(!p.has(AcceleratorId::OakD));
+    }
+
+    #[test]
+    fn cluster_device_class_platforms() {
+        let oak = Platform::oak_d_only();
+        assert_eq!(oak.accelerator_ids(), vec![AcceleratorId::OakD]);
+        let rich = Platform::gpu_rich();
+        assert_eq!(rich.accelerators().len(), 5);
+        assert!(
+            rich.accelerator(AcceleratorId::Gpu)
+                .unwrap()
+                .memory_capacity_mb
+                > Platform::xavier_nx_with_oak()
+                    .accelerator(AcceleratorId::Gpu)
+                    .unwrap()
+                    .memory_capacity_mb
+        );
     }
 
     #[test]

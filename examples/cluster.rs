@@ -1,0 +1,189 @@
+//! Multi-SoC cluster walkthrough: sessions placed across heterogeneous
+//! nodes, rebalanced by live migration while every node keeps stepping.
+//!
+//! Where `serve.rs` drives one SoC's [`FleetService`], this example stands
+//! up a [`ClusterScheduler`] over three device classes — an NX-class
+//! board, an OAK-D-only camera node and a GPU-rich box — each running its
+//! own service stack over its own characterization. The cluster places
+//! each arrival on the least-loaded feasible node, and when the load gap
+//! between the busiest and idlest nodes grows past the rebalance
+//! threshold it live-migrates a stream: the state transfer is costed
+//! through the network model and the model re-warm on the destination is
+//! charged like a loader miss, so migration is never free.
+//!
+//! ```text
+//! cargo run --release --example cluster
+//! ```
+//!
+//! [`FleetService`]: shift_core::FleetService
+//! [`ClusterScheduler`]: shift_core::ClusterScheduler
+
+use shift_core::cluster::ClusterEvent;
+use shift_core::{
+    characterize, AttachRequest, ClusterBuilder, ClusterPolicy, DeadlineClass, ShiftConfig,
+};
+use shift_models::{ModelZoo, ResponseModel};
+use shift_soc::{DeviceClass, ExecutionEngine};
+use shift_video::{CharacterizationDataset, Scenario};
+
+fn describe(tick: u64, event: &ClusterEvent) -> String {
+    match event {
+        ClusterEvent::Admitted {
+            session,
+            node,
+            admitted_goal,
+        } => format!("t={tick:>3}  {session} admitted on node {node} at goal {admitted_goal:.2}"),
+        ClusterEvent::Rejected { session, reason } => {
+            format!(
+                "t={tick:>3}  {session} rejected everywhere: {}",
+                reason.label()
+            )
+        }
+        ClusterEvent::Detached {
+            session,
+            node,
+            frames,
+        } => format!("t={tick:>3}  {session} detached from node {node} after {frames} frames"),
+        ClusterEvent::Shed { session, node } => {
+            format!("t={tick:>3}  {session} SHED by node {node}'s overload control")
+        }
+        ClusterEvent::Migrated {
+            session,
+            from,
+            to,
+            resumed_at_frame,
+        } => format!(
+            "t={tick:>3}  {session} MIGRATED node {from} -> node {to}, \
+             resuming at frame {resumed_at_frame}"
+        ),
+        ClusterEvent::UnknownSession { session } => {
+            format!("t={tick:>3}  {session} is unknown")
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. One node per device class. Each class gets its own platform and —
+    //    critically — its own characterization: the OAK-D-only node has
+    //    never seen the GPU models, so placement learns what each node can
+    //    actually serve from admission verdicts, not from configuration.
+    let dataset = CharacterizationDataset::generate(400, 7);
+    let mut builder =
+        ClusterBuilder::new().policy(ClusterPolicy::defaults().with_rebalance(6, 0.9));
+    for class in DeviceClass::ALL {
+        let engine = ExecutionEngine::new(
+            class.platform(),
+            ModelZoo::standard(),
+            ResponseModel::new(7),
+        );
+        println!("characterizing the {class} node...");
+        let characterization = characterize(&engine, &dataset);
+        builder = builder.node(class, engine, characterization);
+    }
+    let mut cluster = builder.build()?;
+
+    // 2. A morning's arrivals. Placement favours the least-loaded node
+    //    (weighted by device-class capacity), so the early sessions spread
+    //    out; the greedy one exercises a node's degrade ladder.
+    let attach = |name: &str, scenario: Scenario, goal: f64, class: DeadlineClass| {
+        AttachRequest::new(
+            name,
+            scenario,
+            ShiftConfig::paper_defaults().with_accuracy_goal(goal),
+            class,
+        )
+    };
+    cluster.schedule_attach(
+        0,
+        attach(
+            "gate-cam",
+            Scenario::scenario_3().with_num_frames(60),
+            0.30,
+            DeadlineClass::Standard,
+        ),
+    );
+    cluster.schedule_attach(
+        0,
+        attach(
+            "lobby-cam",
+            Scenario::scenario_1().with_num_frames(60),
+            0.30,
+            DeadlineClass::Standard,
+        ),
+    );
+    cluster.schedule_attach(
+        2,
+        attach(
+            "forensics",
+            Scenario::scenario_5().with_num_frames(40),
+            0.90,
+            DeadlineClass::Batch,
+        ),
+    );
+    // An interactive arrival onto the already-busy cluster: every node's
+    // admission turns it away, so the detach its caller scheduled for later
+    // answers UnknownSession — a cluster id names one request forever, even
+    // a rejected one.
+    let short = cluster.schedule_attach(
+        4,
+        attach(
+            "drive-by",
+            Scenario::scenario_2().with_num_frames(8),
+            0.25,
+            DeadlineClass::Interactive,
+        ),
+    );
+    cluster.schedule_detach(12, short);
+
+    // 3. Run to idle and replay the cluster's event log.
+    let outcomes = cluster.run_until_idle()?;
+    println!(
+        "\nprocessed {} frames across the cluster; event log:",
+        outcomes.len()
+    );
+    for (tick, event) in cluster.drain_events() {
+        println!("  {}", describe(tick, &event));
+    }
+    for record in cluster.migrations() {
+        println!(
+            "migration detail: {} moved node {} -> {} at t={}, \
+             transfer {:.3} s / {:.3} J",
+            record.session,
+            record.from,
+            record.to,
+            record.tick,
+            record.transfer_s,
+            record.transfer_j
+        );
+    }
+
+    // 4. Final per-session ledger, with the node that served each stream.
+    println!("\nfinal cluster ledger:");
+    for record in cluster.sessions() {
+        let outcome = if record.rejected.is_some() {
+            "rejected"
+        } else if record.shed {
+            "shed"
+        } else if record.attached {
+            "drained"
+        } else {
+            "detached"
+        };
+        let node = record
+            .node
+            .map_or_else(|| "-".to_string(), |n| n.to_string());
+        let class = record.class.map_or("-", |c| c.label());
+        println!(
+            "  {} {:<9} {:<9} node {node} ({class}), goal {:.2} -> {:.2}, \
+             {} frames, {} migration(s)",
+            record.session,
+            record.name,
+            outcome,
+            record.requested_goal,
+            record.admitted_goal,
+            record.frames,
+            record.migrations,
+        );
+    }
+    Ok(())
+}

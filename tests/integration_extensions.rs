@@ -212,6 +212,7 @@ proptest! {
             idle_wait_power_w: 1.2,
             outage_period_frames: period,
             outage_len_frames: outage,
+            frame_rate_hz: 30.0,
         };
         match link.round_trip(frame, payload, server) {
             Some(report) => {

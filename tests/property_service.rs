@@ -214,3 +214,72 @@ fn overload_shedding_evicts_a_degraded_lower_priority_session() {
         "exactly one shed event for the victim"
     );
 }
+
+#[test]
+fn detach_after_transactional_shed_answers_unknown_session() {
+    let ctx = ExperimentContext::quick(2024);
+    let solo = solo_gpu_latency(&ctx);
+    let policy = ServicePolicy::defaults().with_budgets(solo * 1.5, solo * 1.5);
+    let mut service = FleetBuilder::new(ctx.engine(), ctx.characterization())
+        .build_service(policy)
+        .expect("service builds");
+    // Same shed setup as above: a degraded batch victim evicted by a
+    // saturating standard arrival.
+    let batch = service.submit(SessionRequest::Attach(AttachRequest::new(
+        "degraded-batch",
+        Scenario::scenario_1().with_num_frames(30),
+        gpu_only().with_accuracy_goal(0.95),
+        DeadlineClass::Batch,
+    )));
+    let SessionEvent::Admitted {
+        session: victim, ..
+    } = batch
+    else {
+        panic!("{batch:?}");
+    };
+    let standard = service.submit(SessionRequest::Attach(AttachRequest::new(
+        "standard",
+        Scenario::scenario_1().with_num_frames(30),
+        gpu_only().with_accuracy_goal(0.25),
+        DeadlineClass::Standard,
+    )));
+    let SessionEvent::Admitted {
+        session: survivor, ..
+    } = standard
+    else {
+        panic!("{standard:?}");
+    };
+    assert!(service.sessions()[0].shed, "the batch session was shed");
+    // A detach of the shed session — immediate or scheduled for a future
+    // tick — must answer UnknownSession: the transactional shed already
+    // released its stream, and the id is never reused.
+    let immediate = service.submit(SessionRequest::Detach(victim));
+    assert!(
+        matches!(immediate, SessionEvent::UnknownSession { session } if session == victim),
+        "immediate detach of a shed session must be unknown, got {immediate:?}"
+    );
+    service.drain_events();
+    service.schedule(5, SessionRequest::Detach(victim));
+    service.run_until_idle().expect("service run succeeds");
+    let unknown: Vec<_> = service
+        .drain_events()
+        .into_iter()
+        .filter(
+            |(_, e)| matches!(e, SessionEvent::UnknownSession { session } if *session == victim),
+        )
+        .collect();
+    assert_eq!(
+        unknown.len(),
+        1,
+        "scheduled detach of a shed session must log exactly one UnknownSession"
+    );
+    // The survivor is untouched by the bogus detach: it ran to completion
+    // as a normal, never-detached session.
+    let records = service.sessions();
+    let record = records
+        .iter()
+        .find(|r| r.session == survivor)
+        .expect("survivor has a record");
+    assert!(!record.shed && record.detached_tick.is_none());
+    assert_eq!(record.frames, 30, "the survivor processed every frame");
+}
